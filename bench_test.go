@@ -1,0 +1,221 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§6). Each benchmark runs a scaled-down version of the corresponding
+// experiment per iteration and reports the headline quantities as custom
+// metrics, so `go test -bench=. -benchmem` reproduces the whole evaluation
+// in one pass. cmd/lokiexp runs the full-size versions.
+package loki_test
+
+import (
+	"testing"
+	"time"
+
+	"loki"
+	"loki/internal/core"
+	"loki/internal/experiments"
+	"loki/internal/profiles"
+	"loki/internal/trace"
+)
+
+// BenchmarkFigure1CapacityPhases sweeps demand over the two-task traffic
+// chain and reports the phase boundaries and capacity gains of Figure 1.
+func BenchmarkFigure1CapacityPhases(b *testing.B) {
+	var last *experiments.Fig1Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure1(20, 0.250, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.HardwareLimitQPS, "hwlimit_qps")
+	b.ReportMetric(last.Phase2CapacityGain, "phase2_gain_x")
+	b.ReportMetric(last.TotalCapacityGain, "total_gain_x")
+	b.ReportMetric(100*(1-last.AccuracyAtPhase2), "phase2_accdrop_%")
+}
+
+// BenchmarkFigure3AccuracyThroughput profiles the EfficientNet family
+// (Figure 3's tradeoff curve).
+func BenchmarkFigure3AccuracyThroughput(b *testing.B) {
+	var rows []experiments.Fig3Row
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Figure3()
+	}
+	b.ReportMetric(rows[0].MaxQPS, "b0_qps")
+	b.ReportMetric(rows[len(rows)-1].MaxQPS, "b7_qps")
+	b.ReportMetric(rows[0].MaxQPS/rows[len(rows)-1].MaxQPS, "qps_spread_x")
+}
+
+// BenchmarkFigure5TrafficAnalysis runs the three-system comparison on the
+// traffic-analysis pipeline (Figure 5) on a shortened trace.
+func BenchmarkFigure5TrafficAnalysis(b *testing.B) {
+	var last *experiments.ComparisonResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Comparison(experiments.CompareConfig{
+			TrafficNotSocial: true, Seed: 11, TraceSteps: 48, StepSec: 10,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.ViolationGainVsProteus, "violgain_vs_proteus_x")
+	b.ReportMetric(last.CapacityGainVsInferLine, "capgain_vs_inferline_x")
+	b.ReportMetric(last.ServerGainVsProteus, "servergain_vs_proteus_x")
+	b.ReportMetric(last.Loki.Summary.MeanAccuracy, "loki_accuracy")
+	b.ReportMetric(last.Loki.Summary.ViolationRatio, "loki_violations")
+}
+
+// BenchmarkFigure6SocialMedia runs the same comparison on the social-media
+// pipeline (Figure 6).
+func BenchmarkFigure6SocialMedia(b *testing.B) {
+	var last *experiments.ComparisonResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Comparison(experiments.CompareConfig{
+			TrafficNotSocial: false, Seed: 11, TraceSteps: 48, StepSec: 10,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.ViolationGainVsProteus, "violgain_vs_proteus_x")
+	b.ReportMetric(last.CapacityGainVsInferLine, "capgain_vs_inferline_x")
+	b.ReportMetric(last.Loki.Summary.MeanAccuracy, "loki_accuracy")
+}
+
+// BenchmarkFigure7DroppingAblation compares the four §5.2 early-dropping
+// mechanisms (Figure 7).
+func BenchmarkFigure7DroppingAblation(b *testing.B) {
+	var rows []experiments.Fig7Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Figure7(3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rows[0].ViolationRatio, "nodrop_viol")
+	b.ReportMetric(rows[1].ViolationRatio, "lasttask_viol")
+	b.ReportMetric(rows[2].ViolationRatio, "pertask_viol")
+	b.ReportMetric(rows[3].ViolationRatio, "opportunistic_viol")
+}
+
+// BenchmarkFigure8SLOSensitivity sweeps the latency SLO (Figure 8).
+func BenchmarkFigure8SLOSensitivity(b *testing.B) {
+	var rows []experiments.Fig8Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.Figure8(3, []float64{200, 300, 400})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if !r.Feasible {
+			continue
+		}
+		switch r.SLOMs {
+		case 200:
+			b.ReportMetric(r.ViolationRatio, "viol_at_200ms")
+		case 400:
+			b.ReportMetric(r.ViolationRatio, "viol_at_400ms")
+		}
+	}
+}
+
+// BenchmarkSimulatorValidation runs the §6.2 sim-vs-prototype comparison on
+// a compressed trace (the live engine runs in scaled wall-clock time, so
+// iterations are inherently slow).
+func BenchmarkSimulatorValidation(b *testing.B) {
+	var last *experiments.ValidationResult
+	for i := 0; i < b.N; i++ {
+		// TimeScale 0.5 keeps scheduler jitter and controller wall time
+		// small relative to scaled time; stronger compression inflates the
+		// live engine's violations artificially.
+		r, err := experiments.Validate(experiments.ValidateConfig{
+			Seed: 5, PeakQPS: 350, TraceSteps: 16, StepSec: 4, TimeScale: 0.5,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.AccuracyDeltaPct, "acc_delta_%")
+	b.ReportMetric(last.ViolationDeltaPct, "viol_delta_pp")
+	b.ReportMetric(last.ServersDeltaPct, "servers_delta_%")
+}
+
+// BenchmarkResourceManagerMILP measures one Resource Manager allocation
+// (§6.5; paper: ≈500 ms with Gurobi).
+func BenchmarkResourceManagerMILP(b *testing.B) {
+	g := profiles.TrafficTree()
+	prof := (&profiles.Profiler{}).ProfileGraph(g, profiles.Batches)
+	meta := core.NewMetadataStore(g, prof, 0.250, profiles.Batches)
+	alloc, err := core.NewAllocator(meta, core.AllocatorOptions{
+		Servers: 20, NetLatencySec: 0.002, KeepWarm: true,
+		Headroom: 0.30, SolveTimeLimit: 2 * time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	demands := []float64{300, 700, 1100}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := alloc.Allocate(demands[i%len(demands)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLoadBalancerRouting measures one MostAccurateFirst run (§6.5;
+// paper: ≈0.15 ms).
+func BenchmarkLoadBalancerRouting(b *testing.B) {
+	g := profiles.TrafficTree()
+	prof := (&profiles.Profiler{}).ProfileGraph(g, profiles.Batches)
+	meta := core.NewMetadataStore(g, prof, 0.250, profiles.Batches)
+	alloc, err := core.NewAllocator(meta, core.AllocatorOptions{
+		Servers: 20, NetLatencySec: 0.002, KeepWarm: true, Headroom: 0.30,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := alloc.Allocate(900)
+	if err != nil {
+		b.Fatal(err)
+	}
+	specs := core.ExpandPlan(plan)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.MostAccurateFirst(g, specs, 900, meta.MultFactor)
+	}
+}
+
+// BenchmarkEndToEndServe measures a full public-API serving run per
+// iteration (not a paper figure; tracks overall system throughput).
+func BenchmarkEndToEndServe(b *testing.B) {
+	pipe := loki.TrafficAnalysisPipeline()
+	tr := loki.AzureTrace(1, 24, 5, 800)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := loki.Serve(pipe, tr, loki.WithSeed(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterEventThroughput measures raw simulator speed: simulated
+// requests processed per wall second at a fixed demand.
+func BenchmarkClusterEventThroughput(b *testing.B) {
+	pipe := loki.TrafficAnalysisPipeline()
+	tr := &trace.Trace{Interval: 10, QPS: []float64{500, 500, 500}}
+	b.ResetTimer()
+	total := 0.0
+	for i := 0; i < b.N; i++ {
+		rep, err := loki.Serve(pipe, tr, loki.WithSeed(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += float64(rep.Arrivals)
+	}
+	b.ReportMetric(total/b.Elapsed().Seconds(), "sim_requests/s")
+}

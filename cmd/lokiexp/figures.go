@@ -1,0 +1,87 @@
+package main
+
+import (
+	"fmt"
+
+	"loki/internal/experiments"
+)
+
+func figure1(servers int, sloSec float64, quick bool) error {
+	steps := 22
+	if quick {
+		steps = 11
+	}
+	r, err := experiments.Figure1(servers, sloSec, steps)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatFigure1(r))
+	return nil
+}
+
+func figure3() error {
+	fmt.Println(experiments.FormatFigure3(experiments.Figure3()))
+	return nil
+}
+
+func comparison(traffic bool, seed int64, servers int, sloSec float64, quick bool) error {
+	steps := 144
+	if quick {
+		steps = 72
+	}
+	r, err := experiments.Comparison(experiments.CompareConfig{
+		TrafficNotSocial: traffic,
+		Servers:          servers,
+		SLOSec:           sloSec,
+		Seed:             seed,
+		TraceSteps:       steps,
+		StepSec:          10,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatComparison(r))
+	return nil
+}
+
+func figure7(seed int64) error {
+	rows, err := experiments.Figure7(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatFigure7(rows))
+	return nil
+}
+
+func figure8(seed int64) error {
+	rows, err := experiments.Figure8(seed, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatFigure8(rows))
+	return nil
+}
+
+func validate(seed int64, quick bool) error {
+	cfg := experiments.ValidateConfig{Seed: seed}
+	if quick {
+		cfg.TraceSteps = 10
+		cfg.StepSec = 4
+		cfg.TimeScale = 0.5
+	}
+	r, err := experiments.Validate(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatValidation(r))
+	return nil
+}
+
+func runtime(servers int, sloSec float64) error {
+	r, err := experiments.Runtime(servers, sloSec)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatRuntime(r))
+	return nil
+}

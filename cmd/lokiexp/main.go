@@ -1,0 +1,82 @@
+// Command lokiexp regenerates the tables and figures of the paper's
+// evaluation (§6). Each figure prints the same series/rows the paper plots,
+// plus the headline ratios with the paper's numbers alongside.
+//
+// Usage:
+//
+//	lokiexp -fig 1          # capacity phases (Figure 1)
+//	lokiexp -fig 3          # accuracy-throughput tradeoff (Figure 3)
+//	lokiexp -fig 5          # traffic-analysis end-to-end comparison (Figure 5)
+//	lokiexp -fig 6          # social-media end-to-end comparison (Figure 6)
+//	lokiexp -fig 7          # early-dropping ablation (Figure 7)
+//	lokiexp -fig 8          # SLO sensitivity (Figure 8)
+//	lokiexp -fig validate   # simulator-vs-prototype validation (§6.2)
+//	lokiexp -fig runtime    # Resource Manager / Load Balancer overhead (§6.5)
+//	lokiexp -fig all        # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 3, 5, 6, 7, 8, validate, runtime, all")
+	seed := flag.Int64("seed", 11, "random seed")
+	servers := flag.Int("servers", 20, "cluster size")
+	sloMs := flag.Float64("slo", 250, "latency SLO in milliseconds")
+	quick := flag.Bool("quick", false, "smaller traces for a fast pass")
+	flag.Parse()
+
+	run := func(name string, f func() error) {
+		fmt.Printf("==================== %s ====================\n", name)
+		t0 := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s done in %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	all := *fig == "all"
+	if all || *fig == "1" {
+		run("Figure 1: hardware→accuracy scaling phases", func() error {
+			return figure1(*servers, *sloMs/1000, *quick)
+		})
+	}
+	if all || *fig == "3" {
+		run("Figure 3: accuracy-throughput tradeoff", figure3)
+	}
+	if all || *fig == "5" {
+		run("Figure 5: traffic-analysis comparison", func() error {
+			return comparison(true, *seed, *servers, *sloMs/1000, *quick)
+		})
+	}
+	if all || *fig == "6" {
+		run("Figure 6: social-media comparison", func() error {
+			return comparison(false, *seed, *servers, *sloMs/1000, *quick)
+		})
+	}
+	if all || *fig == "7" {
+		run("Figure 7: early-dropping ablation", func() error {
+			return figure7(*seed)
+		})
+	}
+	if all || *fig == "8" {
+		run("Figure 8: SLO sensitivity", func() error {
+			return figure8(*seed)
+		})
+	}
+	if all || *fig == "validate" {
+		run("§6.2: simulator validation", func() error {
+			return validate(*seed, *quick)
+		})
+	}
+	if all || *fig == "runtime" {
+		run("§6.5: runtime overhead", func() error {
+			return runtime(*servers, *sloMs/1000)
+		})
+	}
+}

@@ -1,0 +1,43 @@
+// Command lokiprofile dumps the model-variant profiles the Model Profiler
+// measures (accuracy, batch latency, throughput per batch size) for every
+// family used in the evaluation — the data behind Figure 3.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"loki/internal/pipeline"
+	"loki/internal/profiles"
+)
+
+func main() {
+	family := flag.String("family", "all", "family: yolo, efficientnet, vgg, resnet, clip, all")
+	flag.Parse()
+
+	fams := map[string][]pipeline.Variant{
+		"yolo":         profiles.YOLOv5(),
+		"efficientnet": profiles.EfficientNet(),
+		"vgg":          profiles.VGG(),
+		"resnet":       profiles.ResNet(),
+		"clip":         profiles.CLIPViT(),
+	}
+	order := []string{"yolo", "efficientnet", "vgg", "resnet", "clip"}
+
+	pr := &profiles.Profiler{}
+	for _, name := range order {
+		if *family != "all" && *family != name {
+			continue
+		}
+		fmt.Printf("==== %s ====\n", name)
+		for _, v := range fams[name] {
+			v := v
+			p := pr.ProfileVariant(&v, profiles.Batches)
+			q, b := p.MaxQPS()
+			fmt.Printf("%-20s accuracy=%.3f (raw %.2f)  mult=%.2f  peak %.1f qps @ batch %d\n",
+				v.Name, v.Accuracy, v.RawAccuracy, v.MultFactor, q, b)
+			fmt.Print(p.String())
+		}
+		fmt.Println()
+	}
+}

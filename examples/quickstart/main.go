@@ -1,0 +1,35 @@
+// Quickstart: serve the traffic-analysis pipeline on a 20-server cluster
+// against a diurnal workload and print the headline metrics.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"loki"
+)
+
+func main() {
+	pipe := loki.TrafficAnalysisPipeline()
+	workload := loki.AzureTrace(1, 96, 10, 1100) // one compressed "day", peak 1100 QPS
+
+	report, err := loki.Serve(pipe, workload,
+		loki.WithServers(20),
+		loki.WithSLO(250*time.Millisecond),
+		loki.WithSeed(1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("pipeline :", pipe.Name)
+	fmt.Println("result   :", report)
+	fmt.Printf("mean end-to-end latency: %v\n\n", report.MeanLatency)
+
+	fmt.Println("time(s)  demand(qps)  accuracy  servers  slo-violations")
+	for _, p := range report.Series {
+		fmt.Printf("%7.0f  %11.1f  %8.4f  %7.1f  %14.4f\n",
+			p.TimeSec, p.DemandQPS, p.Accuracy, p.Servers, p.ViolationRatio)
+	}
+}

@@ -1,0 +1,41 @@
+// SLO tuning: sweep the end-to-end latency SLO for the traffic-analysis
+// pipeline and report how accuracy and violation ratio respond — the
+// paper's Figure 8 experiment, exposed through the public API. Useful for
+// picking the loosest SLO an application can tolerate.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"loki"
+)
+
+func main() {
+	pipe := loki.TrafficAnalysisPipeline()
+	workload := loki.AzureTrace(3, 72, 10, 1100)
+
+	fmt.Printf("%8s %12s %12s %12s\n", "slo(ms)", "accuracy", "slo-viol", "servers")
+	for _, ms := range []int{150, 200, 250, 300, 350, 400} {
+		r, err := loki.Serve(pipe, workload,
+			loki.WithServers(20),
+			loki.WithSLO(time.Duration(ms)*time.Millisecond),
+			loki.WithSeed(3),
+		)
+		if err != nil {
+			// Very tight SLOs are infeasible: even the fastest variants at
+			// batch size 1 cannot finish within the compute budget.
+			fmt.Printf("%8d %12s %12s %12s  (%v)\n", ms, "-", "-", "-", errShort(err))
+			continue
+		}
+		fmt.Printf("%8d %12.4f %12.4f %12.1f\n", ms, r.Accuracy, r.SLOViolationRatio, r.MeanServers)
+	}
+}
+
+func errShort(err error) string {
+	s := err.Error()
+	if len(s) > 60 {
+		s = s[:60] + "..."
+	}
+	return s
+}

@@ -1,0 +1,45 @@
+// Social media: serve the classification→captioning pipeline against a
+// bursty Twitter-like workload and show how Loki trades accuracy for
+// throughput as bursts arrive (the paper's Figure 6 scenario), including
+// the effect of the early-dropping policy choice.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"loki"
+)
+
+func main() {
+	pipe := loki.SocialMediaPipeline()
+	workload := loki.TwitterTrace(7, 96, 10, 1600)
+
+	for _, pol := range []loki.Policy{loki.NoDropPolicy, loki.OpportunisticPolicy} {
+		r, err := loki.Serve(pipe, workload,
+			loki.WithServers(20),
+			loki.WithSLO(250*time.Millisecond),
+			loki.WithSeed(7),
+			loki.WithPolicy(pol),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-26s %s (rerouted %d)\n", pol.Name(), r, r.Rerouted)
+	}
+
+	// Capacity planning: what demand can this cluster absorb at all?
+	maxCap, err := loki.MaxCapacity(pipe, loki.WithServers(20), loki.WithSLO(250*time.Millisecond))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmax fully-served demand with accuracy scaling: %.0f QPS\n", maxCap)
+
+	// And what does the allocation look like at half of that?
+	plan, err := loki.PlanFor(pipe, maxCap/2, loki.WithServers(20))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nplan at %.0f QPS:\n%s", maxCap/2, plan)
+}

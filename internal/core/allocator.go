@@ -1,0 +1,882 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"loki/internal/lp"
+	"loki/internal/milp"
+	"loki/internal/pipeline"
+)
+
+// AllocatorOptions tunes the Resource Manager's optimization (§4).
+type AllocatorOptions struct {
+	// Servers is the cluster size S.
+	Servers int
+	// NetLatencySec is the homogeneous per-hop communication latency
+	// subtracted from the SLO during allocation (§4.2).
+	NetLatencySec float64
+	// MinPathAccuracy, if positive, prunes configuration paths whose
+	// end-to-end accuracy falls below it (§1 notes deployments usually
+	// impose a minimum acceptable accuracy).
+	MinPathAccuracy float64
+	// Headroom inflates the demand the allocator provisions for, absorbing
+	// sub-interval arrival bursts. 0.05 means 5%.
+	Headroom float64
+	// KeepWarm keeps at least one replica per task even at zero demand so
+	// the pipeline never goes cold.
+	KeepWarm bool
+	// SolveTimeLimit bounds each MILP solve; zero means 5s. The solver is
+	// anytime, so hitting the limit degrades optimality, not correctness.
+	SolveTimeLimit time.Duration
+}
+
+// Allocator is the Resource Manager's optimization engine. It owns the
+// config-path formulation of the paper's MILPs: the augmented graph over
+// (variant, batch) configurations, whose paths have constant latency, so the
+// latency SLO (Constraints 4-7) is enforced exactly by pruning infeasible
+// paths up front rather than with big-M indicator rows.
+type Allocator struct {
+	Meta *MetadataStore
+	Opts AllocatorOptions
+
+	cfgs        []config  // all latency-feasible configurations
+	byTask      [][]int   // config indices per task
+	paths       []cfgPath // all feasible root-to-sink config paths
+	sinkOf      []int     // canonical sink index per task (index into sinks)
+	sinks       []pipeline.TaskID
+	pathsBySink [][]int // path indices grouped by terminal sink
+}
+
+// config is one deployable unit: a model variant at a fixed max batch size.
+type config struct {
+	task    pipeline.TaskID
+	variant int
+	batch   int
+	lat     float64 // profiled batch latency (seconds)
+	qps     float64 // profiled per-replica throughput
+	acc     float64 // normalized accuracy
+}
+
+// cfgPath is a root-to-sink path through the configuration graph.
+type cfgPath struct {
+	cfgs     []int     // config index per hop
+	mults    []float64 // m(p, hop): requests reaching hop per root query
+	totalLat float64
+	acc      float64 // end-to-end Â(p)
+	sink     int     // index into a.sinks
+}
+
+// NewAllocator builds the configuration graph for the store's pipeline.
+func NewAllocator(meta *MetadataStore, opts AllocatorOptions) (*Allocator, error) {
+	a := &Allocator{Meta: meta, Opts: opts}
+	if opts.Servers <= 0 {
+		return nil, fmt.Errorf("core: allocator needs a positive cluster size, got %d", opts.Servers)
+	}
+	if err := meta.Graph().Validate(); err != nil {
+		return nil, err
+	}
+	a.build()
+	if len(a.paths) == 0 {
+		return nil, fmt.Errorf("core: no configuration path fits the %.0fms SLO — even batch-1 latencies of the fastest variants exceed the compute budget", meta.SLO()*1e3)
+	}
+	return a, nil
+}
+
+// build enumerates configurations and feasible paths.
+func (a *Allocator) build() {
+	g := a.Meta.Graph()
+	prof := a.Meta.Profiles()
+
+	a.byTask = make([][]int, len(g.Tasks))
+	for i := range g.Tasks {
+		for k := range g.Tasks[i].Variants {
+			p := &prof[i][k]
+			// Dominated-configuration pruning: a larger batch size that
+			// improves throughput by under 5% mostly adds latency — the
+			// variant has saturated — and is dropped. This shrinks the
+			// path set multiplicatively at a worst-case cost of a few
+			// percent of capacity, well below the provisioning headroom.
+			bestQPS := 0.0
+			for j, b := range p.Batches {
+				if j > 0 && p.QPS[j] < bestQPS*1.05 {
+					continue
+				}
+				if p.QPS[j] > bestQPS {
+					bestQPS = p.QPS[j]
+				}
+				a.byTask[i] = append(a.byTask[i], len(a.cfgs))
+				a.cfgs = append(a.cfgs, config{
+					task:    pipeline.TaskID(i),
+					variant: k,
+					batch:   b,
+					lat:     p.LatencySec[j],
+					qps:     p.QPS[j],
+					acc:     g.Tasks[i].Variants[k].Accuracy,
+				})
+			}
+		}
+	}
+
+	a.sinks = g.Sinks()
+	sinkIdx := map[pipeline.TaskID]int{}
+	for s, id := range a.sinks {
+		sinkIdx[id] = s
+	}
+
+	// Canonical sink per task: the first sink reachable from it. The
+	// consistency constraints make every sink's flow decomposition agree,
+	// so capacity accounting may use any one of them.
+	a.sinkOf = make([]int, len(g.Tasks))
+	var firstSink func(id pipeline.TaskID) int
+	firstSink = func(id pipeline.TaskID) int {
+		if g.Tasks[id].IsSink() {
+			return sinkIdx[id]
+		}
+		best := len(a.sinks)
+		for _, c := range g.Tasks[id].Children {
+			if s := firstSink(c.Task); s < best {
+				best = s
+			}
+		}
+		return best
+	}
+	for i := range g.Tasks {
+		a.sinkOf[i] = firstSink(pipeline.TaskID(i))
+	}
+
+	// Enumerate feasible config paths for every task path. The compute
+	// budget per path is SLO/2 minus one network hop per server traversed
+	// (§4.1 halves the SLO to cover queueing; §4.2 subtracts
+	// communication).
+	budgetFor := func(hops int) float64 {
+		return a.Meta.SLO()/2 - float64(hops)*a.Opts.NetLatencySec
+	}
+	// Sink count per task (over the whole graph): a task reachable by more
+	// than one sink is "shared" — its configurations participate in the
+	// cross-sink consistency constraints and must therefore never be
+	// Pareto-pruned within a single sink's path family, or the families
+	// would keep disjoint config sets and consistency would force all flow
+	// to zero.
+	sinkCount := make([]int, len(g.Tasks))
+	for _, tp := range g.TaskPaths() {
+		for _, id := range tp.Tasks {
+			sinkCount[id]++
+		}
+	}
+
+	a.pathsBySink = make([][]int, len(a.sinks))
+	for _, tp := range g.TaskPaths() {
+		budget := budgetFor(len(tp.Tasks))
+		sink := sinkIdx[tp.Tasks[len(tp.Tasks)-1]]
+
+		// Configs per hop grouped by variant.
+		hops := len(tp.Tasks)
+		byVariant := make([]map[int][]int, hops)
+		for h, task := range tp.Tasks {
+			byVariant[h] = map[int][]int{}
+			for _, ci := range a.byTask[task] {
+				v := a.cfgs[ci].variant
+				byVariant[h][v] = append(byVariant[h][v], ci)
+			}
+		}
+
+		// For each variant sequence, enumerate latency-feasible batch
+		// combos and keep only Pareto-maximal ones: accuracy is identical
+		// across combos of a sequence and, once feasible, only per-hop
+		// throughput matters to the LP, so a combo componentwise dominated
+		// in throughput can never improve a plan. This cuts the path set
+		// from the product of batch counts to roughly its staircase
+		// frontier.
+		variantChoice := make([]int, hops)
+		cfgChoice := make([]int, hops)
+		var combos [][]int
+		var enumBatches func(hop int, lat float64)
+		enumBatches = func(hop int, lat float64) {
+			if hop == hops {
+				combos = append(combos, append([]int(nil), cfgChoice...))
+				return
+			}
+			for _, ci := range byVariant[hop][variantChoice[hop]] {
+				if nl := lat + a.cfgs[ci].lat; nl <= budget {
+					cfgChoice[hop] = ci
+					enumBatches(hop+1, nl)
+				}
+			}
+		}
+		shared := make([]bool, hops)
+		for h, id := range tp.Tasks {
+			shared[h] = sinkCount[id] > 1
+		}
+		emit := func() {
+			combos = combos[:0]
+			enumBatches(0, 0)
+			for i, combo := range combos {
+				dominated := false
+				for j, other := range combos {
+					if i == j {
+						continue
+					}
+					// Only combos identical at every shared hop compete;
+					// dominance is judged on the exclusive hops alone.
+					geq, strict, comparable := true, false, true
+					for h := range combo {
+						if shared[h] {
+							if other[h] != combo[h] {
+								comparable = false
+								break
+							}
+							continue
+						}
+						qa, qb := a.cfgs[other[h]].qps, a.cfgs[combo[h]].qps
+						if qa < qb {
+							geq = false
+							break
+						}
+						if qa > qb {
+							strict = true
+						}
+					}
+					if comparable && geq && (strict || j < i) { // ties: keep the first
+						dominated = true
+						break
+					}
+				}
+				if dominated {
+					continue
+				}
+				pth := cfgPath{cfgs: append([]int(nil), combo...), sink: sink}
+				pth.acc = 1
+				pth.mults = make([]float64, hops)
+				m := 1.0
+				for h, ci := range combo {
+					c := &a.cfgs[ci]
+					pth.totalLat += c.lat
+					m *= tp.BranchRatios[h]
+					pth.mults[h] = m
+					m *= a.Meta.MultFactor(c.task, c.variant)
+					pth.acc *= c.acc
+				}
+				if a.Opts.MinPathAccuracy > 0 && pth.acc < a.Opts.MinPathAccuracy {
+					continue
+				}
+				a.pathsBySink[sink] = append(a.pathsBySink[sink], len(a.paths))
+				a.paths = append(a.paths, pth)
+			}
+		}
+		var enumVariants func(hop int)
+		enumVariants = func(hop int) {
+			if hop == hops {
+				emit()
+				return
+			}
+			for v := range g.Tasks[tp.Tasks[hop]].Variants {
+				variantChoice[hop] = v
+				enumVariants(hop + 1)
+			}
+		}
+		enumVariants(0)
+	}
+}
+
+// Allocate runs the Resource Manager's two-step optimization for the given
+// demand estimate: hardware scaling first (Eq. 11), accuracy scaling if that
+// is infeasible (Eq. 12), and a saturation fallback that serves the largest
+// possible fraction of demand when even full accuracy scaling cannot keep
+// up.
+func (a *Allocator) Allocate(demand float64) (*Plan, error) {
+	d := demand * (1 + a.Opts.Headroom)
+	if d < 0 {
+		d = 0
+	}
+
+	// Step 1: hardware scaling with the most accurate variants only.
+	if plan, ok, err := a.solveStep(d, stepHardware); err != nil {
+		return nil, err
+	} else if ok {
+		return plan, nil
+	}
+	// Step 2: accuracy scaling across the whole cluster.
+	if plan, ok, err := a.solveStep(d, stepAccuracy); err != nil {
+		return nil, err
+	} else if ok {
+		return plan, nil
+	}
+	// Step 3: saturation — maximize the served fraction.
+	plan, ok, err := a.solveStep(d, stepSaturation)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		// Last resort: a greedy bottleneck-proportional plan. Reached only
+		// if even the saturation search exhausts its budget without an
+		// incumbent.
+		return a.greedyPlan(d), nil
+	}
+	return plan, nil
+}
+
+// greedyPlan builds a throughput-first fallback: every task gets its
+// fastest latency-feasible configuration, servers are split proportionally
+// to per-task load, and the served fraction is whatever the bottleneck
+// sustains. It exists so the Resource Manager always returns a usable plan
+// even when the optimizer is starved of time.
+func (a *Allocator) greedyPlan(demand float64) *Plan {
+	g := a.Meta.Graph()
+	// Fastest feasible config per task.
+	best := make([]int, len(g.Tasks))
+	for i := range g.Tasks {
+		best[i] = -1
+		for _, ci := range a.byTask[i] {
+			if best[i] < 0 || a.cfgs[ci].qps > a.cfgs[best[i]].qps {
+				best[i] = ci
+			}
+		}
+	}
+	// Per-task demand multiplier using the chosen variants.
+	load := make([]float64, len(g.Tasks))
+	var walk func(id pipeline.TaskID, mult float64)
+	walk = func(id pipeline.TaskID, mult float64) {
+		load[id] += mult
+		c := &a.cfgs[best[id]]
+		out := mult * a.Meta.MultFactor(id, c.variant)
+		for _, ch := range g.Tasks[id].Children {
+			walk(ch.Task, out*ch.BranchRatio)
+		}
+	}
+	walk(0, 1)
+
+	weight := 0.0
+	for i := range g.Tasks {
+		weight += load[i] / a.cfgs[best[i]].qps
+	}
+	plan := &Plan{Mode: Saturated, Demand: demand, ServedFraction: 1}
+	served := math.Inf(1)
+	for i := range g.Tasks {
+		share := (load[i] / a.cfgs[best[i]].qps) / weight
+		n := int(math.Max(1, math.Floor(share*float64(a.Opts.Servers))))
+		c := &a.cfgs[best[i]]
+		plan.Assignments = append(plan.Assignments, Assignment{
+			Task: c.task, Variant: c.variant, MaxBatch: c.batch, Replicas: n,
+			QPS: c.qps, LatencySec: c.lat, Accuracy: c.acc, BudgetSec: 2 * c.lat,
+		})
+		plan.ServersUsed += n
+		if cap := float64(n) * c.qps / load[i]; cap < served {
+			served = cap
+		}
+	}
+	if demand > 0 {
+		plan.ServedFraction = math.Min(1, served/demand)
+	}
+	acc := 0.0
+	for _, tp := range g.TaskPaths() {
+		pa := 1.0
+		for _, id := range tp.Tasks {
+			pa *= a.cfgs[best[id]].acc
+		}
+		acc += pa
+	}
+	plan.ExpectedAccuracy = acc / float64(len(g.TaskPaths()))
+	plan.SolveStats = SolveStats{Step: 3}
+	return plan
+}
+
+// AllocateHardwareOnly restricts the allocator to hardware scaling with the
+// most accurate variants, the InferLine-like baseline regime: minimize
+// servers while demand fits, and beyond that serve the largest possible
+// fraction at fixed accuracy using the whole cluster. Loki itself never
+// calls this; internal/baselines does.
+func (a *Allocator) AllocateHardwareOnly(demand float64) (*Plan, error) {
+	d := demand * (1 + a.Opts.Headroom)
+	if d < 0 {
+		d = 0
+	}
+	if plan, ok, err := a.solveStep(d, stepHardware); err != nil {
+		return nil, err
+	} else if ok {
+		return plan, nil
+	}
+	plan, ok, err := a.solveStep(d, stepHardwareSat)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return a.greedyPlan(d), nil
+	}
+	return plan, nil
+}
+
+type stepKind int8
+
+const (
+	stepHardware stepKind = iota + 1
+	stepAccuracy
+	stepSaturation
+	// stepHardwareSat is the saturation objective restricted to the most
+	// accurate variants (the InferLine-like baseline past cluster
+	// capacity).
+	stepHardwareSat
+)
+
+// solveStep builds and solves one of the three MILPs. Variable layout:
+//
+//	[0, P)      c_p   continuous path flows
+//	[P]         f     served fraction (step 3 only; fixed 1 otherwise)
+//	[P+1, ...)  n_u   integer replica counts per used config
+func (a *Allocator) solveStep(demand float64, step stepKind) (*Plan, bool, error) {
+	useCfg, cfgVar, nvars, clusterRow, prob := a.buildLP(demand, step)
+
+	P := len(a.paths)
+	fVar := P
+
+	intMask := make([]bool, nvars)
+	for _, vi := range cfgVar {
+		if vi >= 0 {
+			intMask[vi] = true
+		}
+	}
+
+	mkPlan := func(x []float64, stats SolveStats) *Plan {
+		plan := a.extractPlan(x, useCfg, cfgVar, fVar, demand, step)
+		stats.Step = int(step)
+		stats.Paths = len(a.paths)
+		stats.Vars = nvars
+		stats.Constraints = len(prob.Cons)
+		plan.SolveStats = stats
+		return plan
+	}
+
+	relax, err := lp.Solve(prob)
+	if err != nil {
+		return nil, false, err
+	}
+	if relax.Status == lp.Infeasible {
+		return nil, false, nil
+	}
+
+	// Ceil heuristic: round every replica count up. Capacity rows only get
+	// slacker, so the point stays feasible unless the cluster constraint
+	// breaks. For steps 2 and 3 the objective depends only on the flows, so
+	// a fitting rounded point is outright optimal; for step 1 it seeds the
+	// branch and bound with a strong incumbent.
+	var seed []float64
+	if relax.Status == lp.Optimal {
+		x, total := ceilReplicas(relax.X, cfgVar)
+		if total <= a.Opts.Servers {
+			if step != stepHardware {
+				return mkPlan(x, SolveStats{Nodes: 1, LPIters: relax.Iters, Proven: true}), true, nil
+			}
+			seed = x
+		}
+	}
+	if seed == nil && step != stepHardware {
+		// The rounded point overflows the cluster. Re-solve the relaxation
+		// with a tightened cluster budget until rounding fits — a fast,
+		// slightly conservative feasible point to seed the search.
+		tight := prob.Clone()
+		budget := float64(a.Opts.Servers)
+		for iter := 0; iter < 6; iter++ {
+			x, total := ceilReplicas(relaxOrNil(tight), cfgVar)
+			if x == nil {
+				break
+			}
+			if total <= a.Opts.Servers {
+				seed = x
+				break
+			}
+			budget -= float64(total - a.Opts.Servers)
+			if budget < 0 {
+				break
+			}
+			tight.Cons[clusterRow].RHS = budget
+		}
+	}
+
+	opts := milp.Options{
+		TimeLimit: a.Opts.SolveTimeLimit,
+		Incumbent: seed,
+	}
+	if opts.TimeLimit == 0 {
+		opts.TimeLimit = 2 * time.Second
+	}
+	if step == stepHardware {
+		// Minimize an integer count: bounds round to whole servers.
+		opts.ObjIntegral = true
+	} else {
+		// Replica counts are integral, so on a 20-server cluster the true
+		// optimum sits ≈1% below the fractional relaxation bound; chasing a
+		// tighter proof than that burns the whole time budget for accuracy
+		// differences far below profiling noise.
+		opts.RelGap = 0.01
+	}
+
+	res, err := milp.SolveWithOptions(&milp.Problem{LP: prob, Integer: intMask}, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	switch res.Status {
+	case milp.Infeasible:
+		return nil, false, nil
+	case milp.Optimal, milp.Feasible:
+		return mkPlan(res.X, SolveStats{
+			Nodes: res.Nodes, LPIters: res.LPIters, Proven: res.Status == milp.Optimal,
+		}), true, nil
+	default:
+		// Search budget exhausted without an incumbent. Fall back to the
+		// heuristic seed when we have one; otherwise report infeasible-for-
+		// this-step so Allocate falls through to the next regime.
+		if seed != nil {
+			return mkPlan(seed, SolveStats{Nodes: res.Nodes, LPIters: res.LPIters}), true, nil
+		}
+		return nil, false, nil
+	}
+}
+
+// ceilReplicas rounds the replica variables of a relaxation point up to
+// integers, returning the rounded point and the total replica count.
+func ceilReplicas(x []float64, cfgVar []int) ([]float64, int) {
+	if x == nil {
+		return nil, 0
+	}
+	out := append([]float64(nil), x...)
+	total := 0
+	for _, vi := range cfgVar {
+		if vi >= 0 {
+			out[vi] = math.Ceil(out[vi] - 1e-9)
+			total += int(out[vi])
+		}
+	}
+	return out, total
+}
+
+func relaxOrNil(p *lp.Problem) []float64 {
+	s, err := lp.Solve(p)
+	if err != nil || s.Status != lp.Optimal {
+		return nil
+	}
+	return s.X
+}
+
+// buildLP constructs the LP for one step. It returns the set of usable
+// configs, the variable index of each config's replica count (-1 if the
+// config is not usable in this step), the variable count, and the problem.
+func (a *Allocator) buildLP(demand float64, step stepKind) (useCfg []bool, cfgVar []int, nvars, clusterRow int, prob *lp.Problem) {
+	g := a.Meta.Graph()
+	P := len(a.paths)
+	fVar := P
+
+	// Step 1 admits only each task's most accurate variant (Eq. 8-10).
+	bestVariant := make([]int, len(g.Tasks))
+	for i := range g.Tasks {
+		bestVariant[i] = g.Tasks[i].MostAccurate()
+	}
+	fixedVariants := step == stepHardware || step == stepHardwareSat
+	saturating := step == stepSaturation || step == stepHardwareSat
+	usable := func(c *config) bool {
+		return !fixedVariants || c.variant == bestVariant[c.task]
+	}
+
+	useCfg = make([]bool, len(a.cfgs))
+	usablePath := make([]bool, P)
+	for pi := range a.paths {
+		ok := true
+		for _, ci := range a.paths[pi].cfgs {
+			if !usable(&a.cfgs[ci]) {
+				ok = false
+				break
+			}
+		}
+		usablePath[pi] = ok
+		if ok {
+			for _, ci := range a.paths[pi].cfgs {
+				useCfg[ci] = true
+			}
+		}
+	}
+
+	cfgVar = make([]int, len(a.cfgs))
+	nvars = P + 1
+	for ci := range a.cfgs {
+		if useCfg[ci] {
+			cfgVar[ci] = nvars
+			nvars++
+		} else {
+			cfgVar[ci] = -1
+		}
+	}
+
+	prob = lp.NewProblem(nvars)
+
+	// Flow conservation per sink: Σ_{p∈P_s} c_p = f (Σ c_p = 1 when f is
+	// pinned). Unusable paths are forced to zero flow.
+	for _, pidx := range a.pathsBySink {
+		terms := make([]lp.Term, 0, len(pidx)+1)
+		for _, pi := range pidx {
+			if usablePath[pi] {
+				terms = append(terms, lp.Term{Var: pi, Coef: 1})
+			} else {
+				prob.AddConstraint([]lp.Term{{Var: pi, Coef: 1}}, lp.LE, 0)
+			}
+		}
+		terms = append(terms, lp.Term{Var: fVar, Coef: -1})
+		prob.AddConstraint(terms, lp.EQ, 0)
+	}
+	if saturating {
+		prob.AddConstraint([]lp.Term{{Var: fVar, Coef: 1}}, lp.LE, 1)
+	} else {
+		prob.AddConstraint([]lp.Term{{Var: fVar, Coef: 1}}, lp.EQ, 1)
+	}
+
+	// Flow consistency at shared config prefixes: a request visits the
+	// tasks above a branch point once, so the fraction of traffic that
+	// follows a given sequence of configurations down to a branching task
+	// must be the same no matter which sink's path family measures it.
+	// (Per-prefix equality is strictly stronger than per-config equality
+	// and is what makes the per-sink capacity accounting in Eq. 2 well
+	// defined, because the workload multiplier m(p, hop) depends on the
+	// whole prefix.) A prefix with usable continuations toward one sink but
+	// none toward another is forced to zero flow: deploying it would doom
+	// the unreachable sink's sub-requests to SLO violations.
+	type prefixKey struct {
+		hop  int
+		last int // config id at the prefix's final hop
+		key  string
+	}
+	prefixSinks := map[prefixKey]map[int][]lp.Term{}
+	var keyBuf []byte
+	for pi := range a.paths {
+		if !usablePath[pi] {
+			continue
+		}
+		pth := &a.paths[pi]
+		keyBuf = keyBuf[:0]
+		for h, ci := range pth.cfgs {
+			keyBuf = append(keyBuf, byte(ci), byte(ci>>8), byte(ci>>16))
+			k := prefixKey{hop: h, last: ci, key: string(keyBuf)}
+			m := prefixSinks[k]
+			if m == nil {
+				m = map[int][]lp.Term{}
+				prefixSinks[k] = m
+			}
+			m[pth.sink] = append(m[pth.sink], lp.Term{Var: pi, Coef: 1})
+		}
+	}
+	// Sinks reachable from each task (over usable paths) determine where
+	// equality rows are needed.
+	taskSinks := make([]map[int]bool, len(g.Tasks))
+	for i := range taskSinks {
+		taskSinks[i] = map[int]bool{}
+	}
+	for pi := range a.paths {
+		if !usablePath[pi] {
+			continue
+		}
+		for _, ci := range a.paths[pi].cfgs {
+			taskSinks[a.cfgs[ci].task][a.paths[pi].sink] = true
+		}
+	}
+	for k, perSink := range prefixSinks {
+		reachable := taskSinks[a.cfgs[k.last].task]
+		if len(reachable) < 2 {
+			continue
+		}
+		ref := -1
+		for s := range reachable {
+			if ref < 0 || s < ref {
+				ref = s
+			}
+		}
+		refTerms := perSink[ref] // nil means flow 0 through this prefix
+		for s := range reachable {
+			if s == ref {
+				continue
+			}
+			terms := perSink[s]
+			if len(refTerms) == 0 && len(terms) == 0 {
+				continue
+			}
+			row := append(append([]lp.Term(nil), refTerms...), negate(terms)...)
+			prob.AddConstraint(row, lp.EQ, 0)
+		}
+	}
+
+	// Capacity (Eq. 2): demand arriving at each config, accounted through
+	// its task's canonical sink (the smallest sink with usable paths
+	// through the task — the same reference the consistency rows use, so
+	// the decomposition is well defined), must not exceed its replicas'
+	// aggregate throughput.
+	for ci := range a.cfgs {
+		if !useCfg[ci] {
+			continue
+		}
+		c := &a.cfgs[ci]
+		canon := -1
+		for s := range taskSinks[c.task] {
+			if canon < 0 || s < canon {
+				canon = s
+			}
+		}
+		var terms []lp.Term
+		if canon >= 0 {
+			for _, pi := range a.pathsBySink[canon] {
+				if !usablePath[pi] {
+					continue
+				}
+				pth := &a.paths[pi]
+				for h, pci := range pth.cfgs {
+					if pci == ci {
+						terms = append(terms, lp.Term{Var: pi, Coef: demand * pth.mults[h]})
+					}
+				}
+			}
+		}
+		terms = append(terms, lp.Term{Var: cfgVar[ci], Coef: -c.qps})
+		prob.AddConstraint(terms, lp.LE, 0)
+	}
+
+	// Cluster size (Eq. 3).
+	var clusterTerms []lp.Term
+	for ci := range a.cfgs {
+		if useCfg[ci] {
+			clusterTerms = append(clusterTerms, lp.Term{Var: cfgVar[ci], Coef: 1})
+		}
+	}
+	clusterRow = prob.AddConstraint(clusterTerms, lp.LE, float64(a.Opts.Servers))
+
+	// Keep-warm: at least one replica per task.
+	if a.Opts.KeepWarm {
+		for i := range g.Tasks {
+			var terms []lp.Term
+			for _, ci := range a.byTask[i] {
+				if useCfg[ci] {
+					terms = append(terms, lp.Term{Var: cfgVar[ci], Coef: 1})
+				}
+			}
+			if len(terms) > 0 {
+				prob.AddConstraint(terms, lp.GE, 1)
+			}
+		}
+	}
+
+	// Objective.
+	switch step {
+	case stepHardware:
+		// Minimize active servers (Eq. 11).
+		prob.Maximize = false
+		for ci := range a.cfgs {
+			if useCfg[ci] {
+				prob.SetObjectiveTerm(cfgVar[ci], 1)
+			}
+		}
+	case stepAccuracy, stepSaturation, stepHardwareSat:
+		// Maximize system accuracy (Eq. 12): the sink-averaged,
+		// flow-weighted end-to-end accuracy. Saturation adds a large
+		// reward on the served fraction, making the objective
+		// lexicographic: serve as much as possible, then as accurately as
+		// possible.
+		prob.Maximize = true
+		w := 1.0 / float64(len(a.sinks))
+		for pi := range a.paths {
+			if usablePath[pi] {
+				prob.SetObjectiveTerm(pi, w*a.paths[pi].acc)
+			}
+		}
+		if saturating {
+			prob.SetObjectiveTerm(fVar, 1000)
+		}
+	}
+	return useCfg, cfgVar, nvars, clusterRow, prob
+}
+
+func negate(terms []lp.Term) []lp.Term {
+	out := make([]lp.Term, len(terms))
+	for i, t := range terms {
+		out[i] = lp.Term{Var: t.Var, Coef: -t.Coef}
+	}
+	return out
+}
+
+// extractPlan converts a solver point into a Plan.
+func (a *Allocator) extractPlan(x []float64, useCfg []bool, cfgVar []int, fVar int, demand float64, step stepKind) *Plan {
+	plan := &Plan{
+		Demand:         demand,
+		ServedFraction: 1,
+	}
+	switch step {
+	case stepHardware:
+		plan.Mode = HardwareScaling
+	case stepAccuracy:
+		plan.Mode = AccuracyScaling
+	case stepSaturation, stepHardwareSat:
+		plan.Mode = Saturated
+		plan.ServedFraction = x[fVar]
+	}
+
+	for ci := range a.cfgs {
+		if !useCfg[ci] {
+			continue
+		}
+		n := int(math.Round(x[cfgVar[ci]]))
+		if n <= 0 {
+			continue
+		}
+		c := &a.cfgs[ci]
+		plan.Assignments = append(plan.Assignments, Assignment{
+			Task:       c.task,
+			Variant:    c.variant,
+			MaxBatch:   c.batch,
+			Replicas:   n,
+			QPS:        c.qps,
+			LatencySec: c.lat,
+			Accuracy:   c.acc,
+			BudgetSec:  2 * c.lat,
+		})
+		plan.ServersUsed += n
+	}
+
+	g := a.Meta.Graph()
+	accSum, flowSum := 0.0, 0.0
+	for pi, pth := range a.paths {
+		frac := x[pi]
+		if frac < 1e-9 {
+			continue
+		}
+		tasks := make([]pipeline.TaskID, len(pth.cfgs))
+		variants := make([]int, len(pth.cfgs))
+		batches := make([]int, len(pth.cfgs))
+		for h, ci := range pth.cfgs {
+			tasks[h] = a.cfgs[ci].task
+			variants[h] = a.cfgs[ci].variant
+			batches[h] = a.cfgs[ci].batch
+		}
+		plan.PathFlows = append(plan.PathFlows, PathFlow{
+			Tasks: tasks, Variants: variants, Batches: batches,
+			Fraction: frac, Accuracy: pth.acc,
+		})
+		accSum += frac * pth.acc
+		flowSum += frac
+	}
+	if flowSum > 0 {
+		plan.ExpectedAccuracy = accSum / flowSum
+	} else {
+		plan.ExpectedAccuracy = g.MaxAccuracy()
+	}
+	return plan
+}
+
+// MaxCapacity estimates the largest demand (QPS) the cluster can fully serve
+// by bisecting on Allocate feasibility at the given accuracy floor. It is
+// used by the Figure-1 capacity analysis.
+func (a *Allocator) MaxCapacity(lo, hi float64) float64 {
+	for i := 0; i < 24 && hi-lo > 0.5; i++ {
+		mid := (lo + hi) / 2
+		plan, err := a.Allocate(mid)
+		if err == nil && plan.Mode != Saturated {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,395 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"loki/internal/pipeline"
+	"loki/internal/profiles"
+)
+
+func chainAllocator(t *testing.T, servers int, sloSec float64) *Allocator {
+	t.Helper()
+	g := profiles.TrafficChain()
+	prof := (&profiles.Profiler{}).ProfileGraph(g, profiles.Batches)
+	meta := NewMetadataStore(g, prof, sloSec, profiles.Batches)
+	a, err := NewAllocator(meta, AllocatorOptions{
+		Servers: servers, NetLatencySec: 0.002, KeepWarm: true,
+		Headroom:       0.30, // the serving default; see experiments.RunConfig
+		SolveTimeLimit: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func treeAllocator(t *testing.T, servers int, sloSec float64) *Allocator {
+	t.Helper()
+	g := profiles.TrafficTree()
+	prof := (&profiles.Profiler{}).ProfileGraph(g, profiles.Batches)
+	meta := NewMetadataStore(g, prof, sloSec, profiles.Batches)
+	a, err := NewAllocator(meta, AllocatorOptions{
+		Servers: servers, NetLatencySec: 0.002, KeepWarm: true,
+		Headroom:       0.30,
+		SolveTimeLimit: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// expectedTaskLoad computes the demand every task of a plan must absorb,
+// propagating the plan's path flows and the variants' multiplicative
+// factors, for feasibility checking.
+func expectedTaskLoad(t *testing.T, a *Allocator, plan *Plan, demand float64) map[pipeline.TaskID]float64 {
+	t.Helper()
+	g := a.Meta.Graph()
+	load := map[pipeline.TaskID]float64{}
+	sinks := g.Sinks()
+	sinkOf := map[pipeline.TaskID]bool{}
+	for _, s := range sinks {
+		sinkOf[s] = true
+	}
+	// Use the first sink's flow decomposition per task, mirroring the
+	// allocator's canonical accounting.
+	seen := map[pipeline.TaskID]map[string]bool{}
+	for _, pf := range plan.PathFlows {
+		m := 1.0
+		key := ""
+		for h, task := range pf.Tasks {
+			_, ratio := g.Parent(task)
+			if h == 0 {
+				ratio = 1
+			}
+			m *= ratio
+			key += string(rune('A'+pf.Variants[h])) + string(rune('a'+h))
+			if seen[task] == nil {
+				seen[task] = map[string]bool{}
+			}
+			// Each sink decomposition counts a prefix once; accumulate per
+			// distinct sink to avoid double counting across sinks. Use the
+			// sink of the path.
+			sk := key + "|" + string(rune('0'+pf.Tasks[len(pf.Tasks)-1]))
+			_ = sk
+			load[task] += demand * pf.Fraction * m
+			v := g.Tasks[task].Variants[pf.Variants[h]]
+			m *= v.MultFactor
+		}
+	}
+	return load
+}
+
+func TestHardwareScalingAtLowDemand(t *testing.T) {
+	a := chainAllocator(t, 20, 0.250)
+	plan, err := a.Allocate(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Mode != HardwareScaling {
+		t.Fatalf("mode = %v, want hardware-scaling", plan.Mode)
+	}
+	if plan.ServersUsed >= 20 {
+		t.Fatalf("low demand should not need the whole cluster, used %d", plan.ServersUsed)
+	}
+	if math.Abs(plan.ExpectedAccuracy-1.0) > 1e-9 {
+		t.Fatalf("hardware scaling must keep max accuracy, got %g", plan.ExpectedAccuracy)
+	}
+	// Only most accurate variants hosted.
+	g := a.Meta.Graph()
+	for _, as := range plan.Assignments {
+		if as.Variant != g.Tasks[as.Task].MostAccurate() {
+			t.Fatalf("hardware scaling hosted non-best variant %d of task %d", as.Variant, as.Task)
+		}
+	}
+}
+
+func TestKeepWarmAtZeroDemand(t *testing.T) {
+	a := chainAllocator(t, 20, 0.250)
+	plan, err := a.Allocate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perTask := map[pipeline.TaskID]int{}
+	for _, as := range plan.Assignments {
+		perTask[as.Task] += as.Replicas
+	}
+	for i := range a.Meta.Graph().Tasks {
+		if perTask[pipeline.TaskID(i)] < 1 {
+			t.Fatalf("task %d has no warm replica", i)
+		}
+	}
+}
+
+func TestAccuracyScalingKicksInPastClusterLimit(t *testing.T) {
+	a := chainAllocator(t, 20, 0.250)
+	plan, err := a.Allocate(900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Mode != AccuracyScaling {
+		t.Fatalf("mode = %v, want accuracy-scaling", plan.Mode)
+	}
+	if plan.ExpectedAccuracy >= 1.0 {
+		t.Fatal("accuracy scaling should sacrifice some accuracy")
+	}
+	if plan.ExpectedAccuracy < 0.85 {
+		t.Fatalf("accuracy dropped too far at moderate overload: %g", plan.ExpectedAccuracy)
+	}
+}
+
+func TestSaturationBeyondMaxCapacity(t *testing.T) {
+	a := chainAllocator(t, 20, 0.250)
+	plan, err := a.Allocate(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Mode != Saturated {
+		t.Fatalf("mode = %v, want saturated", plan.Mode)
+	}
+	if plan.ServedFraction >= 1 || plan.ServedFraction <= 0 {
+		t.Fatalf("served fraction = %g, want in (0,1)", plan.ServedFraction)
+	}
+}
+
+func TestServerCountGrowsWithDemand(t *testing.T) {
+	a := chainAllocator(t, 20, 0.250)
+	prev := 0
+	for _, d := range []float64{50, 150, 300, 450} {
+		plan, err := a.Allocate(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.ServersUsed < prev {
+			t.Fatalf("servers shrank from %d to %d at demand %g", prev, plan.ServersUsed, d)
+		}
+		prev = plan.ServersUsed
+	}
+}
+
+func TestAccuracyMonotoneNonIncreasingInDemand(t *testing.T) {
+	a := chainAllocator(t, 20, 0.250)
+	prev := 1.1
+	for _, d := range []float64{400, 700, 1000, 1300, 1600} {
+		plan, err := a.Allocate(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Allow the solver's 0.2% gap plus a hair of slack.
+		if plan.ExpectedAccuracy > prev+0.005 {
+			t.Fatalf("accuracy rose from %.4f to %.4f at demand %g", prev, plan.ExpectedAccuracy, d)
+		}
+		prev = plan.ExpectedAccuracy
+	}
+}
+
+func TestPlanRespectsClusterSize(t *testing.T) {
+	for _, d := range []float64{100, 600, 1200, 3000} {
+		a := chainAllocator(t, 20, 0.250)
+		plan, err := a.Allocate(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.ServersUsed > 20 {
+			t.Fatalf("plan uses %d servers on a 20-server cluster (demand %g)", plan.ServersUsed, d)
+		}
+		if got := plan.Replicas(); got != plan.ServersUsed {
+			t.Fatalf("Replicas() = %d, ServersUsed = %d", got, plan.ServersUsed)
+		}
+	}
+}
+
+func TestPlanCapacityCoversLoad(t *testing.T) {
+	a := chainAllocator(t, 20, 0.250)
+	for _, d := range []float64{200, 800, 1500} {
+		plan, err := a.Allocate(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.Mode == Saturated {
+			continue
+		}
+		load := expectedTaskLoad(t, a, plan, d)
+		for task, l := range load {
+			if cap := plan.Capacity(task); cap < l*0.999 {
+				t.Fatalf("demand %g: task %d capacity %.1f < load %.1f", d, task, cap, l)
+			}
+		}
+	}
+}
+
+func TestPathFlowsRespectSLOBudget(t *testing.T) {
+	a := chainAllocator(t, 20, 0.250)
+	plan, err := a.Allocate(1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := a.Meta.Profiles()
+	for _, pf := range plan.PathFlows {
+		lat := 0.0
+		for h, task := range pf.Tasks {
+			l, ok := prof[task][pf.Variants[h]].Latency(pf.Batches[h])
+			if !ok {
+				t.Fatalf("unprofiled batch %d", pf.Batches[h])
+			}
+			lat += l
+		}
+		budget := 0.250/2 - float64(len(pf.Tasks))*0.002
+		if lat > budget+1e-9 {
+			t.Fatalf("path latency %.1fms exceeds budget %.1fms", lat*1e3, budget*1e3)
+		}
+	}
+}
+
+func TestPathFlowsSumToServedFractionPerSink(t *testing.T) {
+	a := treeAllocator(t, 20, 0.250)
+	for _, d := range []float64{300, 900} {
+		plan, err := a.Allocate(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bySink := map[pipeline.TaskID]float64{}
+		for _, pf := range plan.PathFlows {
+			bySink[pf.Tasks[len(pf.Tasks)-1]] += pf.Fraction
+		}
+		for sink, sum := range bySink {
+			if math.Abs(sum-plan.ServedFraction) > 1e-6 {
+				t.Fatalf("demand %g sink %d: flows sum to %.6f, want %.6f", d, sink, sum, plan.ServedFraction)
+			}
+		}
+		if len(bySink) != 2 {
+			t.Fatalf("want flows toward both sinks, got %v", bySink)
+		}
+	}
+}
+
+func TestTreePipelineConsistencyAcrossSinks(t *testing.T) {
+	// The fraction of traffic served by each detector variant must agree
+	// between the car-classification and facial-recognition decompositions.
+	a := treeAllocator(t, 20, 0.250)
+	plan, err := a.Allocate(700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perSink := map[pipeline.TaskID]map[int]float64{}
+	for _, pf := range plan.PathFlows {
+		sink := pf.Tasks[len(pf.Tasks)-1]
+		if perSink[sink] == nil {
+			perSink[sink] = map[int]float64{}
+		}
+		perSink[sink][pf.Variants[0]] += pf.Fraction
+	}
+	if len(perSink) != 2 {
+		t.Fatalf("want 2 sinks, got %d", len(perSink))
+	}
+	var sinks []pipeline.TaskID
+	for s := range perSink {
+		sinks = append(sinks, s)
+	}
+	for v, frac := range perSink[sinks[0]] {
+		if math.Abs(perSink[sinks[1]][v]-frac) > 1e-6 {
+			t.Fatalf("detector variant %d: flow %.4f via sink %d vs %.4f via sink %d",
+				v, frac, sinks[0], perSink[sinks[1]][v], sinks[1])
+		}
+	}
+}
+
+func TestTightSLOIsRejectedWhenInfeasible(t *testing.T) {
+	g := profiles.TrafficChain()
+	prof := (&profiles.Profiler{}).ProfileGraph(g, profiles.Batches)
+	// 20ms SLO: even batch-1 latencies exceed the halved budget.
+	meta := NewMetadataStore(g, prof, 0.020, profiles.Batches)
+	if _, err := NewAllocator(meta, AllocatorOptions{Servers: 20}); err == nil {
+		t.Fatal("want error for an SLO no path can meet")
+	}
+}
+
+func TestTighterSLONeverImprovesAccuracy(t *testing.T) {
+	prev := -1.0
+	for _, slo := range []float64{0.150, 0.200, 0.300, 0.400} {
+		a := chainAllocator(t, 20, slo)
+		plan, err := a.Allocate(1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc := plan.ExpectedAccuracy * plan.ServedFraction
+		if acc < prev-0.01 {
+			t.Fatalf("served accuracy fell from %.4f to %.4f when relaxing SLO to %v", prev, acc, slo)
+		}
+		prev = acc
+	}
+}
+
+func TestMinPathAccuracyFloor(t *testing.T) {
+	g := profiles.TrafficChain()
+	prof := (&profiles.Profiler{}).ProfileGraph(g, profiles.Batches)
+	meta := NewMetadataStore(g, prof, 0.250, profiles.Batches)
+	a, err := NewAllocator(meta, AllocatorOptions{
+		Servers: 20, NetLatencySec: 0.002, MinPathAccuracy: 0.85,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := a.Allocate(2500) // deep overload
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pf := range plan.PathFlows {
+		if pf.Accuracy < 0.85 {
+			t.Fatalf("path accuracy %.3f below the 0.85 floor", pf.Accuracy)
+		}
+	}
+}
+
+func TestFigure1PhaseBoundaries(t *testing.T) {
+	// The calibration target from Figure 1: hardware scaling saturates
+	// around 560 QPS on 20 servers, and accuracy scaling extends capacity
+	// to roughly 2.5-3.5× that.
+	a := chainAllocator(t, 20, 0.250)
+	hwLimit := 0.0
+	for d := 400.0; d <= 800; d += 20 {
+		plan, err := a.Allocate(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan.Mode == HardwareScaling {
+			hwLimit = d
+		}
+	}
+	if hwLimit < 450 || hwLimit > 700 {
+		t.Fatalf("hardware-scaling limit %.0f QPS, want ≈560 (450-700)", hwLimit)
+	}
+	maxCap := a.MaxCapacity(hwLimit, 4000)
+	if ratio := maxCap / hwLimit; ratio < 2.0 || ratio > 4.0 {
+		t.Fatalf("capacity gain %.2f×, want 2-4× (paper: ≈2.7-3.1×)", ratio)
+	}
+}
+
+func TestGreedyPlanFallback(t *testing.T) {
+	a := chainAllocator(t, 20, 0.250)
+	plan := a.greedyPlan(5000)
+	if plan.Mode != Saturated {
+		t.Fatalf("mode = %v", plan.Mode)
+	}
+	if plan.ServersUsed == 0 || plan.ServersUsed > 20 {
+		t.Fatalf("greedy plan uses %d servers", plan.ServersUsed)
+	}
+	if plan.ServedFraction <= 0 || plan.ServedFraction > 1 {
+		t.Fatalf("served fraction %g", plan.ServedFraction)
+	}
+}
+
+func TestBudgetsAreTwiceBatchLatency(t *testing.T) {
+	a := chainAllocator(t, 20, 0.250)
+	plan, err := a.Allocate(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, as := range plan.Assignments {
+		if math.Abs(as.BudgetSec-2*as.LatencySec) > 1e-12 {
+			t.Fatalf("budget %.4f != 2×latency %.4f", as.BudgetSec, as.LatencySec)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math"
+	"sync"
+)
+
+// Controller ties the Resource Manager and Load Balancer together (§3). A
+// serving engine (the discrete-event cluster or the live wall-clock engine)
+// drives it: Step runs the Resource Manager's periodic allocation (with a
+// plan cache over quantized demand levels, since re-solving an identical
+// MILP every control period would be wasted work on a real cluster too),
+// and Rebalance refreshes only the routing tables between allocations, as
+// §5.1 describes.
+// Planner produces a resource allocation plan for a demand estimate. The
+// MILP-based Allocator is Loki's planner; the baselines in
+// internal/baselines (InferLine-like hardware scaling, Proteus-like
+// pipeline-agnostic accuracy scaling) plug in here too, so every approach
+// runs on the identical serving substrate.
+type Planner interface {
+	Allocate(demand float64) (*Plan, error)
+}
+
+type Controller struct {
+	Meta  *MetadataStore
+	Alloc Planner
+
+	// Publish delivers a new plan and routing tables to the serving
+	// engine. Called whenever either changes.
+	Publish func(plan *Plan, routes *Routes)
+
+	// ReallocateThreshold is the relative demand change that triggers
+	// re-allocation before the periodic interval elapses. Zero means 0.2.
+	ReallocateThreshold float64
+
+	// RouteHeadroom inflates the demand handed to MostAccurateFirst, so the
+	// greedy fill loads every worker to 1/(1+RouteHeadroom) of its profiled
+	// capacity instead of exactly 100%. Batch queues at critical load build
+	// unbounded waits; this is the slack that keeps queueing delay inside
+	// the SLO/2 allowance. Should match the allocator's Headroom.
+	RouteHeadroom float64
+
+	mu        sync.Mutex
+	cache     map[int]*Plan
+	plan      *Plan
+	routes    *Routes
+	planDmd   float64 // demand the current plan was built for
+	allocates int     // MILP invocations (cache misses), for overhead stats
+	steps     int
+}
+
+// NewController wires a controller.
+func NewController(meta *MetadataStore, alloc Planner, publish func(*Plan, *Routes)) *Controller {
+	return &Controller{
+		Meta:    meta,
+		Alloc:   alloc,
+		Publish: publish,
+		cache:   map[int]*Plan{},
+	}
+}
+
+// demandBucket quantizes demand to ≈4% granularity for plan caching.
+func demandBucket(d float64) int {
+	if d < 1 {
+		return 0
+	}
+	return int(math.Round(math.Log(d) / math.Log(1.04)))
+}
+
+// Step runs one Resource Manager invocation: estimate demand, allocate
+// (through the cache), and rebuild routing tables. force skips the
+// change-threshold check (used on the periodic interval).
+func (c *Controller) Step(force bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	demand := c.Meta.DemandEstimate()
+	c.steps++
+
+	thr := c.ReallocateThreshold
+	if thr == 0 {
+		thr = 0.2
+	}
+	if !force && c.plan != nil {
+		base := math.Max(c.planDmd, 1)
+		if math.Abs(demand-c.planDmd)/base < thr {
+			return nil
+		}
+	}
+
+	bucket := demandBucket(demand)
+	plan, ok := c.cache[bucket]
+	if !ok {
+		var err error
+		plan, err = c.Alloc.Allocate(demand)
+		if err != nil {
+			return err
+		}
+		c.cache[bucket] = plan
+		c.allocates++
+	}
+	c.plan = plan
+	c.planDmd = demand
+	c.publishLocked(demand)
+	return nil
+}
+
+// Rebalance reruns MostAccurateFirst with the current demand estimate
+// against the standing plan (the Load Balancer's between-allocations
+// refresh).
+func (c *Controller) Rebalance() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.plan == nil {
+		return
+	}
+	c.publishLocked(c.Meta.DemandEstimate())
+}
+
+func (c *Controller) publishLocked(demand float64) {
+	specs := ExpandPlan(c.plan)
+	c.routes = MostAccurateFirst(c.Meta.Graph(), specs, demand*(1+c.RouteHeadroom), c.Meta.MultFactor)
+	if c.Publish != nil {
+		c.Publish(c.plan, c.routes)
+	}
+}
+
+// Plan returns the standing plan (nil before the first Step).
+func (c *Controller) Plan() *Plan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.plan
+}
+
+// Routes returns the standing routing tables (nil before the first Step).
+func (c *Controller) Routes() *Routes {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.routes
+}
+
+// Allocates returns the number of MILP invocations performed (cache
+// misses).
+func (c *Controller) Allocates() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.allocates
+}

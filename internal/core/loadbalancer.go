@@ -1,0 +1,225 @@
+package core
+
+import (
+	"sort"
+
+	"loki/internal/pipeline"
+)
+
+// WorkerID identifies one worker (one hosted model-variant replica).
+type WorkerID int
+
+// WorkerSpec describes the configuration a worker must host: which variant
+// of which task, the maximum batch size, and the profiled characteristics
+// the Load Balancer and drop policies need at routing time.
+type WorkerSpec struct {
+	ID         WorkerID
+	Task       pipeline.TaskID
+	Variant    int
+	MaxBatch   int
+	QPS        float64
+	LatencySec float64
+	Accuracy   float64
+	BudgetSec  float64
+}
+
+// ExpandPlan flattens a plan into one WorkerSpec per replica, assigning
+// dense worker IDs.
+func ExpandPlan(plan *Plan) []WorkerSpec {
+	var specs []WorkerSpec
+	for _, a := range plan.Assignments {
+		for r := 0; r < a.Replicas; r++ {
+			specs = append(specs, WorkerSpec{
+				ID:         WorkerID(len(specs)),
+				Task:       a.Task,
+				Variant:    a.Variant,
+				MaxBatch:   a.MaxBatch,
+				QPS:        a.QPS,
+				LatencySec: a.LatencySec,
+				Accuracy:   a.Accuracy,
+				BudgetSec:  a.BudgetSec,
+			})
+		}
+	}
+	return specs
+}
+
+// RouteEntry is one row of a routing table: forward with probability Prob to
+// Worker.
+type RouteEntry struct {
+	Worker WorkerID
+	Prob   float64
+}
+
+// WorkerTable is the routing table pushed to one worker: for every child
+// task, where to forward the intermediate queries this worker emits.
+type WorkerTable struct {
+	PerChild map[pipeline.TaskID][]RouteEntry
+}
+
+// BackupEntry lists a downstream worker with leftover capacity, used by
+// opportunistic rerouting (§5.2): a straggler can be redirected to a backup
+// worker whose profiled execution time fits its remaining budget.
+type BackupEntry struct {
+	Worker   WorkerID
+	Leftover float64 // unallocated QPS
+	ExecSec  float64 // profiled batch execution time
+	Accuracy float64
+}
+
+// Routes is the complete output of one Load Balancer run.
+type Routes struct {
+	Specs    []WorkerSpec
+	Frontend []RouteEntry                      // demand entry points (root-task workers)
+	Tables   map[WorkerID]*WorkerTable         // per-worker forwarding tables
+	Backup   map[pipeline.TaskID][]BackupEntry // leftover capacity per task
+}
+
+// MostAccurateFirst implements Algorithm 1: walk the pipeline graph in
+// topological order, assign each task's incoming demand to its workers in
+// non-increasing order of single-model accuracy, compute each worker's
+// outgoing demand through its variant's multiplicative factor and the edge
+// branch ratios, and fill the children the same way. Because the end-to-end
+// accuracy is monotone in single-model accuracies, saturating the most
+// accurate workers first maximizes end-to-end pipeline accuracy for the
+// demand being routed (§5.1).
+//
+// multFactor returns the current estimate of a variant's multiplicative
+// factor (typically MetadataStore.MultFactor, which folds in heartbeat
+// observations). Demand beyond total capacity is spread over a task's
+// workers proportionally to capacity — queues absorb it and the drop
+// policies decide its fate at runtime.
+func MostAccurateFirst(g *pipeline.Graph, specs []WorkerSpec, demand float64,
+	multFactor func(pipeline.TaskID, int) float64) *Routes {
+
+	type state struct {
+		spec     *WorkerSpec
+		incoming float64
+		capacity float64 // remaining unallocated QPS
+	}
+	byTask := make([][]*state, len(g.Tasks))
+	for i := range specs {
+		s := &state{spec: &specs[i], capacity: specs[i].QPS}
+		byTask[s.spec.Task] = append(byTask[s.spec.Task], s)
+	}
+	for _, ws := range byTask {
+		sort.Slice(ws, func(i, j int) bool {
+			a, b := ws[i].spec, ws[j].spec
+			if a.Accuracy != b.Accuracy {
+				return a.Accuracy > b.Accuracy
+			}
+			if a.QPS != b.QPS {
+				return a.QPS > b.QPS
+			}
+			return a.ID < b.ID
+		})
+	}
+
+	routes := &Routes{
+		Specs:  specs,
+		Tables: make(map[WorkerID]*WorkerTable, len(specs)),
+		Backup: make(map[pipeline.TaskID][]BackupEntry),
+	}
+	for i := range specs {
+		routes.Tables[specs[i].ID] = &WorkerTable{PerChild: map[pipeline.TaskID][]RouteEntry{}}
+	}
+
+	// fill assigns `amount` of demand to the task's workers most accurate
+	// first, returning the route entries with probabilities relative to
+	// `amount`. Overflow beyond total capacity is spread proportionally to
+	// worker capacity.
+	fill := func(task pipeline.TaskID, amount float64) []RouteEntry {
+		ws := byTask[task]
+		if len(ws) == 0 {
+			return nil
+		}
+		if amount <= 0 {
+			// No measurable demand: send everything to the most accurate
+			// worker so stray requests still have a route.
+			ws[0].incoming += amount
+			return []RouteEntry{{Worker: ws[0].spec.ID, Prob: 1}}
+		}
+		var entries []RouteEntry
+		remaining := amount
+		for _, w := range ws {
+			if remaining <= 1e-12 {
+				break
+			}
+			if w.capacity <= 1e-12 {
+				continue
+			}
+			routed := remaining
+			if w.capacity < routed {
+				routed = w.capacity
+			}
+			w.capacity -= routed
+			w.incoming += routed
+			remaining -= routed
+			entries = append(entries, RouteEntry{Worker: w.spec.ID, Prob: routed / amount})
+		}
+		// Overload: probabilities sum below 1 and the remainder is left
+		// unrouted. The unroutable share is shed at the routing point
+		// (frontend admission control / forwarding drop) instead of being
+		// spread over already-full queues, which would push every queued
+		// request past its deadline and turn a capacity shortfall into a
+		// total outage.
+		return mergeEntries(entries)
+	}
+
+	routes.Frontend = fill(0, demand)
+
+	for _, task := range g.TopoOrder() {
+		t := &g.Tasks[task]
+		for _, w := range byTask[task] {
+			for _, child := range t.Children {
+				out := w.incoming * multFactor(task, w.spec.Variant) * child.BranchRatio
+				entries := fill(child.Task, out)
+				routes.Tables[w.spec.ID].PerChild[child.Task] = entries
+			}
+		}
+	}
+
+	// Backup tables: workers with leftover capacity, most accurate first.
+	for task := range g.Tasks {
+		var b []BackupEntry
+		for _, w := range byTask[task] {
+			if w.capacity > 1e-9 {
+				b = append(b, BackupEntry{
+					Worker:   w.spec.ID,
+					Leftover: w.capacity,
+					ExecSec:  w.spec.LatencySec,
+					Accuracy: w.spec.Accuracy,
+				})
+			}
+		}
+		sort.Slice(b, func(i, j int) bool {
+			if b[i].Accuracy != b[j].Accuracy {
+				return b[i].Accuracy > b[j].Accuracy
+			}
+			return b[i].ExecSec < b[j].ExecSec
+		})
+		if len(b) > 0 {
+			routes.Backup[pipeline.TaskID(task)] = b
+		}
+	}
+	return routes
+}
+
+// mergeEntries coalesces duplicate workers (a worker can receive both a
+// capacity share and an overflow share).
+func mergeEntries(entries []RouteEntry) []RouteEntry {
+	if len(entries) < 2 {
+		return entries
+	}
+	idx := map[WorkerID]int{}
+	out := entries[:0]
+	for _, e := range entries {
+		if j, ok := idx[e.Worker]; ok {
+			out[j].Prob += e.Prob
+			continue
+		}
+		idx[e.Worker] = len(out)
+		out = append(out, e)
+	}
+	return out
+}

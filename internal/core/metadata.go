@@ -1,0 +1,94 @@
+package core
+
+import (
+	"sync"
+
+	"loki/internal/pipeline"
+	"loki/internal/profiles"
+	"loki/internal/trace"
+)
+
+// MetadataStore holds everything the Resource Manager and Load Balancer
+// consult (§3): the pipeline graph, per-variant performance profiles, the
+// latency SLO, recent demand history, and the multiplicative factors
+// observed by workers and reported through heartbeats. It is safe for
+// concurrent use — the live (wall-clock) engine shares it across goroutines.
+type MetadataStore struct {
+	mu sync.RWMutex
+
+	graph    *pipeline.Graph
+	profiles [][]profiles.Profile // [task][variant]
+	sloSec   float64
+	batches  []int
+
+	demand trace.EWMA // smoothed incoming demand estimate
+
+	// multFactors[task][variant] is an EWMA of the multiplicative factor
+	// workers observed while serving that variant; it starts at the
+	// profiled value and is refined by heartbeats (§4.2).
+	multFactors [][]trace.EWMA
+}
+
+// NewMetadataStore registers a pipeline, its profiles, and the latency SLO —
+// the initial-setup step of §3.
+func NewMetadataStore(g *pipeline.Graph, prof [][]profiles.Profile, sloSec float64, batches []int) *MetadataStore {
+	m := &MetadataStore{
+		graph:    g,
+		profiles: prof,
+		sloSec:   sloSec,
+		batches:  append([]int(nil), batches...),
+	}
+	m.demand = trace.EWMA{Alpha: 0.35}
+	m.multFactors = make([][]trace.EWMA, len(g.Tasks))
+	for i := range g.Tasks {
+		m.multFactors[i] = make([]trace.EWMA, len(g.Tasks[i].Variants))
+		for k := range m.multFactors[i] {
+			m.multFactors[i][k] = trace.EWMA{Alpha: 0.2}
+			m.multFactors[i][k].Observe(g.Tasks[i].Variants[k].MultFactor)
+		}
+	}
+	return m
+}
+
+// Graph returns the registered pipeline graph.
+func (m *MetadataStore) Graph() *pipeline.Graph { return m.graph }
+
+// Profiles returns the profiled performance tables.
+func (m *MetadataStore) Profiles() [][]profiles.Profile { return m.profiles }
+
+// SLO returns the end-to-end latency SLO in seconds.
+func (m *MetadataStore) SLO() float64 { return m.sloSec }
+
+// Batches returns the allowed batch sizes.
+func (m *MetadataStore) Batches() []int { return m.batches }
+
+// ObserveDemand folds a demand measurement (QPS over the last reporting
+// interval, as recorded by the Frontend) into the EWMA estimate.
+func (m *MetadataStore) ObserveDemand(qps float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.demand.Observe(qps)
+}
+
+// DemandEstimate returns the smoothed demand estimate.
+func (m *MetadataStore) DemandEstimate() float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.demand.Value()
+}
+
+// ReportMultFactor records a worker-observed multiplicative factor for a
+// variant (delivered via heartbeat messages).
+func (m *MetadataStore) ReportMultFactor(task pipeline.TaskID, variant int, observed float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.multFactors[task][variant].Observe(observed)
+}
+
+// MultFactor returns the current estimate of a variant's multiplicative
+// factor.
+func (m *MetadataStore) MultFactor(task pipeline.TaskID, variant int) float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.multFactors[task][variant].Value()
+}

@@ -1,0 +1,146 @@
+// Package core implements Loki's Controller: the Resource Manager (§4),
+// which periodically solves MILPs for hardware and accuracy scaling, the
+// Load Balancer (§5) with its MostAccurateFirst routing algorithm and
+// backup tables for opportunistic rerouting, and the Metadata Store that
+// feeds them both. This package is the paper's primary contribution.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"loki/internal/pipeline"
+)
+
+// Mode records which scaling regime produced a plan.
+type Mode int8
+
+// Scaling regimes (§4).
+const (
+	// HardwareScaling: demand is served entirely with the most accurate
+	// variants, minimizing the number of active servers (step 1).
+	HardwareScaling Mode = iota
+	// AccuracyScaling: the whole cluster is in use and accuracy is
+	// sacrificed just enough to meet demand (step 2).
+	AccuracyScaling
+	// Saturated: even the least accurate configuration cannot serve the
+	// demand; the plan serves the largest possible fraction and the rest
+	// must be dropped at runtime (the regime beyond Figure 1's phase 3).
+	Saturated
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case HardwareScaling:
+		return "hardware-scaling"
+	case AccuracyScaling:
+		return "accuracy-scaling"
+	case Saturated:
+		return "saturated"
+	default:
+		return "unknown"
+	}
+}
+
+// Assignment is one entry of a resource allocation plan: how many replicas
+// of a given model variant to host, and the maximum batch size each replica
+// may form (x(i,k) and y(i,k) in Table 1).
+type Assignment struct {
+	Task     pipeline.TaskID
+	Variant  int
+	MaxBatch int
+	Replicas int
+
+	// Profiled characteristics of one replica under this configuration,
+	// copied from the Metadata Store at allocation time.
+	QPS        float64 // throughput of one replica
+	LatencySec float64 // batch processing latency
+	Accuracy   float64 // normalized single-model accuracy
+
+	// BudgetSec is the per-task latency budget for requests served by
+	// these replicas: twice the batch latency, since a query may wait in
+	// the queue for as long as one batch execution (§4.1's SLO/2 rule).
+	BudgetSec float64
+}
+
+// PathFlow is the fraction of incoming demand the allocator expects to flow
+// through one root-to-sink configuration path.
+type PathFlow struct {
+	Tasks    []pipeline.TaskID
+	Variants []int
+	Batches  []int
+	Fraction float64 // of the demand toward this path's sink
+	Accuracy float64 // end-to-end Â(p)
+}
+
+// Plan is a complete resource allocation (§2.2.1): variant choice,
+// replication factor, and max batch size per hosted variant, plus the
+// expected path flows that realize it.
+type Plan struct {
+	Mode        Mode
+	Demand      float64 // demand (QPS) the plan was sized for
+	ServersUsed int
+	// ServedFraction is 1 except in Saturated mode, where it is the
+	// fraction of demand the plan can serve.
+	ServedFraction float64
+	// ExpectedAccuracy is the demand-weighted mean end-to-end accuracy over
+	// sinks, assuming flows follow PathFlows.
+	ExpectedAccuracy float64
+	Assignments      []Assignment
+	PathFlows        []PathFlow
+	// SolveStats records how the MILP solve went, for §6.5-style reporting.
+	SolveStats SolveStats
+}
+
+// SolveStats captures optimizer effort for the runtime-overhead experiment.
+type SolveStats struct {
+	Step        int // 1 = hardware scaling, 2 = accuracy scaling, 3 = saturation
+	Nodes       int
+	LPIters     int
+	Paths       int // config paths after pruning
+	Vars        int
+	Constraints int
+	Proven      bool // solved to proven optimality
+}
+
+// Replicas returns the total replica count of the plan.
+func (p *Plan) Replicas() int {
+	n := 0
+	for _, a := range p.Assignments {
+		n += a.Replicas
+	}
+	return n
+}
+
+// Capacity returns the plan's aggregate throughput for a task (replicas ×
+// per-replica QPS summed over the task's assignments).
+func (p *Plan) Capacity(task pipeline.TaskID) float64 {
+	c := 0.0
+	for _, a := range p.Assignments {
+		if a.Task == task {
+			c += float64(a.Replicas) * a.QPS
+		}
+	}
+	return c
+}
+
+// String renders a human-readable summary.
+func (p *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan[%s] demand=%.1f served=%.0f%% servers=%d acc=%.4f\n",
+		p.Mode, p.Demand, 100*p.ServedFraction, p.ServersUsed, p.ExpectedAccuracy)
+	as := append([]Assignment(nil), p.Assignments...)
+	sort.Slice(as, func(i, j int) bool {
+		if as[i].Task != as[j].Task {
+			return as[i].Task < as[j].Task
+		}
+		return as[i].Variant < as[j].Variant
+	})
+	for _, a := range as {
+		fmt.Fprintf(&b, "  task %d variant %d batch %-3d × %-3d (%.1f qps/replica, acc %.3f)\n",
+			a.Task, a.Variant, a.MaxBatch, a.Replicas, a.QPS, a.Accuracy)
+	}
+	return b.String()
+}

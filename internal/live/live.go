@@ -1,0 +1,640 @@
+// Package live is the wall-clock serving engine: the same pipelines,
+// controller, routing tables, and drop policies as internal/cluster, but
+// with real goroutine workers whose "inference" occupies them for the
+// profiled batch duration in real time. It plays the role of the paper's
+// Python/ONNX prototype in the §6.2 "validating the simulator" experiment:
+// the same workload is served by this engine and by the discrete-event
+// simulator, and the metric deltas between the two quantify how faithful
+// the simulator is.
+package live
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"loki/internal/core"
+	"loki/internal/metrics"
+	"loki/internal/pipeline"
+	"loki/internal/policy"
+	"loki/internal/trace"
+)
+
+// Options configures the live engine.
+type Options struct {
+	Servers       int
+	SLOSec        float64
+	NetLatencySec float64
+	Seed          int64
+	// TimeScale stretches simulated model latencies into wall time:
+	// wall = profiled × TimeScale. 1.0 runs in real time; smaller values
+	// compress long experiments (the SLO is compared in scaled time, so
+	// results are invariant up to scheduler jitter).
+	TimeScale float64
+	// RMIntervalSec and LBIntervalSec are controller periods in scaled
+	// seconds.
+	RMIntervalSec float64
+	LBIntervalSec float64
+	QueueFactor   float64
+}
+
+// Engine is the live serving system.
+type Engine struct {
+	meta *core.MetadataStore
+	pol  policy.Policy
+	col  *metrics.Collector
+	opts Options
+	g    *pipeline.Graph
+
+	mu         sync.Mutex
+	rng        *rand.Rand
+	routes     *core.Routes
+	logical    map[core.WorkerID]*worker
+	workers    []*worker
+	backupLeft map[core.WorkerID]float64
+	minTail    []float64
+	arrivals   int
+	inflight   sync.WaitGroup
+	start      time.Time
+	stopped    bool
+
+	TotalInjected  int64
+	TotalCompleted int64
+	TotalDropped   int64
+	TotalRerouted  int64
+}
+
+type worker struct {
+	phys  int
+	cond  *sync.Cond // waits on the engine mutex
+	spec  *core.WorkerSpec
+	queue []*subreq
+	qcap  int
+	hbIn  int
+	hbOut int
+}
+
+type rootReq struct {
+	arrived     float64 // scaled seconds since engine start
+	deadline    float64
+	mu          sync.Mutex
+	outstanding int
+	dropped     bool
+	accSum      float64
+	accN        int
+}
+
+type subreq struct {
+	root     *rootReq
+	task     pipeline.TaskID
+	acc      float64
+	enqueued float64
+}
+
+// New builds a live engine.
+func New(meta *core.MetadataStore, pol policy.Policy, col *metrics.Collector, opts Options) (*Engine, error) {
+	if opts.Servers <= 0 {
+		return nil, fmt.Errorf("live: need a positive server count")
+	}
+	if opts.TimeScale == 0 {
+		opts.TimeScale = 1.0
+	}
+	if opts.QueueFactor == 0 {
+		opts.QueueFactor = 2.0
+	}
+	if opts.RMIntervalSec == 0 {
+		opts.RMIntervalSec = 10
+	}
+	if opts.LBIntervalSec == 0 {
+		opts.LBIntervalSec = 1
+	}
+	e := &Engine{
+		meta:       meta,
+		pol:        pol,
+		col:        col,
+		opts:       opts,
+		g:          meta.Graph(),
+		rng:        rand.New(rand.NewSource(opts.Seed)),
+		logical:    map[core.WorkerID]*worker{},
+		backupLeft: map[core.WorkerID]float64{},
+	}
+	for i := 0; i < opts.Servers; i++ {
+		w := &worker{phys: i}
+		w.cond = sync.NewCond(&e.mu)
+		e.workers = append(e.workers, w)
+	}
+	prof := meta.Profiles()
+	e.minTail = make([]float64, len(e.g.Tasks))
+	var tail func(t pipeline.TaskID) float64
+	tail = func(t pipeline.TaskID) float64 {
+		minExec := math.Inf(1)
+		for k := range prof[t] {
+			for _, l := range prof[t][k].LatencySec {
+				if l < minExec {
+					minExec = l
+				}
+			}
+		}
+		worst := 0.0
+		for _, ch := range e.g.Tasks[t].Children {
+			if v := tail(ch.Task); v > worst {
+				worst = v
+			}
+		}
+		e.minTail[t] = opts.NetLatencySec + minExec + worst
+		return e.minTail[t]
+	}
+	tail(0)
+	return e, nil
+}
+
+// now returns the scaled time since the run started.
+func (e *Engine) now() float64 {
+	return time.Since(e.start).Seconds() / e.opts.TimeScale
+}
+
+// sleepScaled sleeps for d scaled seconds.
+func (e *Engine) sleepScaled(d float64) {
+	if d <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(d * e.opts.TimeScale * float64(time.Second)))
+}
+
+// ApplyPlan installs a plan and routing tables (Controller publish target).
+func (e *Engine) ApplyPlan(plan *core.Plan, routes *core.Routes) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.routes = routes
+
+	key := func(s *core.WorkerSpec) string {
+		return fmt.Sprintf("%d/%d/%d", s.Task, s.Variant, s.MaxBatch)
+	}
+	claimed := make([]bool, len(e.workers))
+	assign := make([]*core.WorkerSpec, len(e.workers))
+	var unmatched []*core.WorkerSpec
+	for i := range routes.Specs {
+		s := &routes.Specs[i]
+		found := false
+		for wi, w := range e.workers {
+			if !claimed[wi] && w.spec != nil && key(w.spec) == key(s) {
+				claimed[wi] = true
+				assign[wi] = s
+				found = true
+				break
+			}
+		}
+		if !found {
+			unmatched = append(unmatched, s)
+		}
+	}
+	for _, s := range unmatched {
+		for wi := range e.workers {
+			if !claimed[wi] {
+				claimed[wi] = true
+				assign[wi] = s
+				break
+			}
+		}
+	}
+	e.logical = make(map[core.WorkerID]*worker, len(routes.Specs))
+	for wi, w := range e.workers {
+		ns := assign[wi]
+		if ns != nil {
+			e.logical[ns.ID] = w
+		}
+		if ns == nil && w.spec != nil {
+			for _, sub := range w.queue {
+				e.abandonLocked(sub)
+			}
+			w.queue = nil
+		}
+		if ns != nil && w.spec != nil && w.spec.Task != ns.Task {
+			for _, sub := range w.queue {
+				e.abandonLocked(sub)
+			}
+			w.queue = nil
+		}
+		w.spec = ns
+		if ns != nil {
+			w.qcap = queueCap(e.opts, ns)
+			w.cond.Signal()
+		}
+	}
+	e.backupLeft = map[core.WorkerID]float64{}
+	for _, entries := range routes.Backup {
+		for _, b := range entries {
+			e.backupLeft[b.Worker] = b.Leftover
+		}
+	}
+}
+
+func queueCap(o Options, s *core.WorkerSpec) int {
+	byRate := int(math.Ceil(o.QueueFactor * s.QPS * o.SLOSec))
+	if m := 2 * s.MaxBatch; byRate < m {
+		byRate = m
+	}
+	return byRate
+}
+
+// ActiveServers counts workers hosting a model.
+func (e *Engine) ActiveServers() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for _, w := range e.workers {
+		if w.spec != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Serve drives the engine over a workload trace, blocking until the trace
+// finishes and in-flight requests drain. The controller is stepped on its
+// periodic intervals exactly as in the simulator.
+func (e *Engine) Serve(tr *trace.Trace, ctrl *core.Controller) error {
+	e.start = time.Now()
+	e.mu.Lock()
+	e.stopped = false
+	e.mu.Unlock()
+
+	// Worker goroutines.
+	var wg sync.WaitGroup
+	for _, w := range e.workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			e.workerLoop(w)
+		}(w)
+	}
+
+	// Housekeeping goroutine: per-second demand reports, heartbeats,
+	// reactive and periodic controller steps.
+	done := make(chan struct{})
+	var hkWG sync.WaitGroup
+	hkWG.Add(1)
+	go func() {
+		defer hkWG.Done()
+		tick := time.NewTicker(time.Duration(e.opts.TimeScale * float64(time.Second)))
+		defer tick.Stop()
+		lastRM := 0.0
+		lastLB := 0.0
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+			}
+			now := e.now()
+			e.mu.Lock()
+			count := e.arrivals
+			e.arrivals = 0
+			for _, w := range e.workers {
+				if w.spec == nil || w.hbIn == 0 {
+					continue
+				}
+				sumRatio := 0.0
+				for _, ch := range e.g.Tasks[w.spec.Task].Children {
+					sumRatio += ch.BranchRatio
+				}
+				if sumRatio > 0 {
+					e.meta.ReportMultFactor(w.spec.Task, w.spec.Variant,
+						float64(w.hbOut)/(float64(w.hbIn)*sumRatio))
+				}
+				w.hbIn, w.hbOut = 0, 0
+			}
+			active := 0
+			for _, w := range e.workers {
+				if w.spec != nil {
+					active++
+				}
+			}
+			e.mu.Unlock()
+
+			e.meta.ObserveDemand(float64(count))
+			e.colLocked(func(c *metrics.Collector) {
+				c.SampleDemand(now, tr.RateAt(now))
+				c.SampleServers(now, active)
+			})
+			_ = ctrl.Step(false)
+			if now-lastLB >= e.opts.LBIntervalSec {
+				ctrl.Rebalance()
+				lastLB = now
+			}
+			if now-lastRM >= e.opts.RMIntervalSec {
+				_ = ctrl.Step(true)
+				lastRM = now
+			}
+		}
+	}()
+
+	// Arrival loop (open-loop Poisson from the trace).
+	arrRng := rand.New(rand.NewSource(e.opts.Seed + 2))
+	for _, at := range tr.Arrivals(arrRng) {
+		e.sleepScaled(at - e.now())
+		e.inject()
+	}
+	// Drain.
+	e.inflight.Wait()
+	close(done)
+	hkWG.Wait()
+
+	e.mu.Lock()
+	e.stopped = true
+	for _, w := range e.workers {
+		w.cond.Broadcast()
+	}
+	e.mu.Unlock()
+	wg.Wait()
+	return nil
+}
+
+var colMu sync.Mutex
+
+func (e *Engine) colLocked(f func(*metrics.Collector)) {
+	if e.col == nil {
+		return
+	}
+	colMu.Lock()
+	defer colMu.Unlock()
+	f(e.col)
+}
+
+// inject admits one client request.
+func (e *Engine) inject() {
+	now := e.now()
+	e.mu.Lock()
+	e.arrivals++
+	e.TotalInjected++
+	routes := e.routes
+	var target core.WorkerID
+	ok := false
+	if routes != nil {
+		target, ok = e.pickLocked(routes.Frontend)
+	}
+	e.mu.Unlock()
+
+	e.colLocked(func(c *metrics.Collector) { c.Arrival(now) })
+	root := &rootReq{arrived: now, deadline: now + e.opts.SLOSec}
+	if !ok {
+		root.dropped = true
+		e.finish(root)
+		return
+	}
+	root.outstanding = 1
+	e.inflight.Add(1)
+	sub := &subreq{root: root, task: 0, acc: 1}
+	go e.deliver(sub, target)
+}
+
+// deliver moves a subrequest to a worker after one (scaled) network hop.
+func (e *Engine) deliver(sub *subreq, target core.WorkerID) {
+	e.sleepScaled(e.opts.NetLatencySec)
+	e.mu.Lock()
+	w := e.logical[target]
+	if w == nil || w.spec == nil || w.spec.Task != sub.task || len(w.queue) >= w.qcap {
+		e.mu.Unlock()
+		e.abandon(sub)
+		return
+	}
+	sub.enqueued = e.now()
+	w.queue = append(w.queue, sub)
+	w.cond.Signal()
+	e.mu.Unlock()
+}
+
+// workerLoop executes batches until the engine stops.
+func (e *Engine) workerLoop(w *worker) {
+	for {
+		e.mu.Lock()
+		for !e.stopped && (w.spec == nil || len(w.queue) == 0) {
+			w.cond.Wait()
+		}
+		if e.stopped {
+			e.mu.Unlock()
+			return
+		}
+		spec := w.spec
+		b := len(w.queue)
+		if b > spec.MaxBatch {
+			b = spec.MaxBatch
+		}
+		batch := append([]*subreq(nil), w.queue[:b]...)
+		w.queue = w.queue[b:]
+		e.mu.Unlock()
+
+		v := &e.g.Tasks[spec.Task].Variants[spec.Variant]
+		e.sleepScaled(v.Latency(b))
+
+		for _, sub := range batch {
+			e.complete(sub, w, spec)
+		}
+	}
+}
+
+// complete mirrors cluster.completeAt under the live mutex.
+func (e *Engine) complete(sub *subreq, w *worker, spec *core.WorkerSpec) {
+	now := e.now()
+	task := &e.g.Tasks[spec.Task]
+	v := &task.Variants[spec.Variant]
+	acc := sub.acc * v.Accuracy
+
+	if task.IsSink() {
+		sub.root.mu.Lock()
+		sub.root.accSum += acc
+		sub.root.accN++
+		sub.root.mu.Unlock()
+	}
+
+	e.mu.Lock()
+	w.hbIn++
+	routes := e.routes
+	var table *core.WorkerTable
+	if routes != nil {
+		if w.spec != nil && w.spec.Task == spec.Task {
+			table = routes.Tables[w.spec.ID]
+		}
+		if table == nil {
+			table = routes.Tables[spec.ID]
+		}
+	}
+	type fwd struct {
+		child  pipeline.TaskID
+		target core.WorkerID
+		drop   bool
+	}
+	var fwds []fwd
+	totalOut := 0
+	for _, child := range task.Children {
+		mean := v.MultFactor * child.BranchRatio
+		k := e.poissonLocked(mean)
+		totalOut += k
+		for i := 0; i < k; i++ {
+			var entries []core.RouteEntry
+			if table != nil {
+				entries = table.PerChild[child.Task]
+			}
+			target, ok := e.pickLocked(entries)
+			if !ok {
+				fwds = append(fwds, fwd{child: child.Task, drop: true})
+				continue
+			}
+			nextExec := 0.0
+			if tw := e.logical[target]; tw != nil && tw.spec != nil {
+				nextExec = tw.spec.LatencySec
+			}
+			ctx := policy.Context{
+				Now:         now,
+				Deadline:    sub.root.deadline,
+				EnteredTask: sub.enqueued,
+				Budget:      spec.BudgetSec,
+				HasNext:     true,
+				NextTask:    child.Task,
+				NextIsSink:  len(e.g.Tasks[child.Task].Children) == 0,
+				NextExec:    nextExec,
+				NetLatency:  e.opts.NetLatencySec,
+				MinTail:     e.minTail[child.Task],
+				FindBackup:  e.findBackupLocked,
+			}
+			d := e.pol.OnTaskComplete(&ctx)
+			if d.Drop {
+				fwds = append(fwds, fwd{child: child.Task, drop: true})
+				continue
+			}
+			if d.Reroute {
+				target = d.Alternate
+				e.TotalRerouted++
+			}
+			fwds = append(fwds, fwd{child: child.Task, target: target})
+		}
+	}
+	w.hbOut += totalOut
+	e.mu.Unlock()
+
+	dropped := false
+	spawned := 0
+	for _, f := range fwds {
+		if f.drop {
+			dropped = true
+			continue
+		}
+		spawned++
+	}
+	sub.root.mu.Lock()
+	if dropped {
+		sub.root.dropped = true
+	}
+	sub.root.outstanding += spawned
+	sub.root.mu.Unlock()
+	for _, f := range fwds {
+		if f.drop {
+			continue
+		}
+		child := &subreq{root: sub.root, task: f.child, acc: acc}
+		e.inflight.Add(1)
+		go e.deliver(child, f.target)
+	}
+
+	e.release(sub.root)
+}
+
+// release decrements a root's outstanding count and finishes it at zero.
+// The caller must have accounted for the just-finished subrequest.
+func (e *Engine) release(root *rootReq) {
+	root.mu.Lock()
+	root.outstanding--
+	fin := root.outstanding == 0
+	root.mu.Unlock()
+	if fin {
+		e.finish(root)
+	}
+	e.inflight.Done()
+}
+
+func (e *Engine) abandon(sub *subreq) {
+	sub.root.mu.Lock()
+	sub.root.dropped = true
+	sub.root.mu.Unlock()
+	e.release(sub.root)
+}
+
+// abandonLocked is abandon for subrequests still queued when a worker is
+// reassigned; e.mu is held, so only the root is touched.
+func (e *Engine) abandonLocked(sub *subreq) {
+	go e.abandon(sub)
+}
+
+func (e *Engine) finish(root *rootReq) {
+	now := e.now()
+	e.mu.Lock()
+	if root.dropped {
+		e.TotalDropped++
+	} else {
+		e.TotalCompleted++
+	}
+	e.mu.Unlock()
+	if root.dropped {
+		e.colLocked(func(c *metrics.Collector) { c.Dropped(now) })
+		return
+	}
+	late := now > root.deadline+1e-9
+	accuracy := math.NaN()
+	if root.accN > 0 {
+		accuracy = root.accSum / float64(root.accN)
+	}
+	e.colLocked(func(c *metrics.Collector) { c.Completed(now, late, now-root.arrived, accuracy) })
+}
+
+func (e *Engine) pickLocked(entries []core.RouteEntry) (core.WorkerID, bool) {
+	if len(entries) == 0 {
+		return 0, false
+	}
+	r := e.rng.Float64()
+	total := 0.0
+	for _, en := range entries {
+		total += en.Prob
+		r -= en.Prob
+		if r <= 0 {
+			return en.Worker, true
+		}
+	}
+	if total >= 1-1e-9 {
+		return entries[len(entries)-1].Worker, true
+	}
+	return 0, false
+}
+
+func (e *Engine) findBackupLocked(task pipeline.TaskID, maxExec float64) (core.WorkerID, bool) {
+	if e.routes == nil {
+		return 0, false
+	}
+	for _, b := range e.routes.Backup[task] {
+		if b.ExecSec <= maxExec && e.backupLeft[b.Worker] >= 1 {
+			e.backupLeft[b.Worker]--
+			return b.Worker, true
+		}
+	}
+	return 0, false
+}
+
+func (e *Engine) poissonLocked(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= e.rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1000 {
+			return k
+		}
+	}
+}

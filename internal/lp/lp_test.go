@@ -1,0 +1,424 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solveOrDie(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return s
+}
+
+func wantOptimal(t *testing.T, p *Problem, wantObj float64) *Solution {
+	t.Helper()
+	s := solveOrDie(t, p)
+	if s.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", s.Status)
+	}
+	if math.Abs(s.Objective-wantObj) > 1e-6 {
+		t.Fatalf("objective = %g, want %g (x=%v)", s.Objective, wantObj, s.X)
+	}
+	return s
+}
+
+func TestMaximizeTwoVars(t *testing.T) {
+	// max 3x + 2y s.t. x+y <= 4, x+3y <= 6 → x=4, y=0, obj 12.
+	p := NewProblem(2)
+	p.Maximize = true
+	p.Obj = []float64{3, 2}
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, LE, 4)
+	p.AddConstraint([]Term{{0, 1}, {1, 3}}, LE, 6)
+	s := wantOptimal(t, p, 12)
+	if math.Abs(s.X[0]-4) > 1e-7 || math.Abs(s.X[1]) > 1e-7 {
+		t.Fatalf("x = %v, want [4 0]", s.X)
+	}
+}
+
+func TestMinimizeWithGE(t *testing.T) {
+	// Classic diet-style LP:
+	// min 0.6x + y s.t. 10x + 4y >= 20, 5x + 5y >= 20, 2x + 6y >= 12 →
+	// binding at 5x+5y=20 and 2x+6y=12: x=3, y=1; obj = 2.8.
+	p := NewProblem(2)
+	p.Obj = []float64{0.6, 1}
+	p.AddConstraint([]Term{{0, 10}, {1, 4}}, GE, 20)
+	p.AddConstraint([]Term{{0, 5}, {1, 5}}, GE, 20)
+	p.AddConstraint([]Term{{0, 2}, {1, 6}}, GE, 12)
+	wantOptimal(t, p, 2.8)
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// max x + 2y s.t. x + y = 3, x <= 2 → y=3 is best: x=0,y=3, obj 6.
+	p := NewProblem(2)
+	p.Maximize = true
+	p.Obj = []float64{1, 2}
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 3)
+	p.AddConstraint([]Term{{0, 1}}, LE, 2)
+	s := wantOptimal(t, p, 6)
+	if math.Abs(s.X[0]) > 1e-7 || math.Abs(s.X[1]-3) > 1e-7 {
+		t.Fatalf("x = %v, want [0 3]", s.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.Obj = []float64{1}
+	p.AddConstraint([]Term{{0, 1}}, GE, 5)
+	p.AddConstraint([]Term{{0, 1}}, LE, 3)
+	s := solveOrDie(t, p)
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(2)
+	p.Maximize = true
+	p.Obj = []float64{1, 1}
+	p.AddConstraint([]Term{{0, 1}, {1, -1}}, LE, 1)
+	s := solveOrDie(t, p)
+	if s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestNegativeRHSNormalization(t *testing.T) {
+	// x - y <= -1 with x,y >= 0 means y >= x + 1.
+	// min y s.t. x - y <= -1 → x=0, y=1.
+	p := NewProblem(2)
+	p.Obj = []float64{0, 1}
+	p.AddConstraint([]Term{{0, 1}, {1, -1}}, LE, -1)
+	s := wantOptimal(t, p, 1)
+	if math.Abs(s.X[1]-1) > 1e-7 {
+		t.Fatalf("x = %v, want y=1", s.X)
+	}
+}
+
+func TestNegativeRHSEquality(t *testing.T) {
+	// x - y = -2 → y = x + 2; min x + y → x=0, y=2, obj 2.
+	p := NewProblem(2)
+	p.Obj = []float64{1, 1}
+	p.AddConstraint([]Term{{0, 1}, {1, -1}}, EQ, -2)
+	wantOptimal(t, p, 2)
+}
+
+func TestDuplicateTermsAreSummed(t *testing.T) {
+	// (1+2)x <= 6 → x <= 2; max x → 2.
+	p := NewProblem(1)
+	p.Maximize = true
+	p.Obj = []float64{1}
+	p.AddConstraint([]Term{{0, 1}, {0, 2}}, LE, 6)
+	wantOptimal(t, p, 2)
+}
+
+func TestBealeDegeneracyTerminates(t *testing.T) {
+	// Beale's classic cycling example. Must terminate (Bland fallback) at
+	// the known optimum: min -0.75x1 + 150x2 - 0.02x3 + 6x4 → obj -0.05.
+	p := NewProblem(4)
+	p.Obj = []float64{-0.75, 150, -0.02, 6}
+	p.AddConstraint([]Term{{0, 0.25}, {1, -60}, {2, -0.04}, {3, 9}}, LE, 0)
+	p.AddConstraint([]Term{{0, 0.5}, {1, -90}, {2, -0.02}, {3, 3}}, LE, 0)
+	p.AddConstraint([]Term{{2, 1}}, LE, 1)
+	wantOptimal(t, p, -0.05)
+}
+
+func TestRedundantEqualityRows(t *testing.T) {
+	// Two copies of the same equality: phase 1 must cope with the
+	// redundant artificial row.
+	p := NewProblem(2)
+	p.Maximize = true
+	p.Obj = []float64{1, 1}
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 2)
+	p.AddConstraint([]Term{{0, 2}, {1, 2}}, EQ, 4)
+	wantOptimal(t, p, 2)
+}
+
+func TestZeroVariableProblem(t *testing.T) {
+	p := NewProblem(0)
+	s := solveOrDie(t, p)
+	if s.Status != Optimal || s.Objective != 0 {
+		t.Fatalf("got %+v, want trivially optimal 0", s)
+	}
+}
+
+func TestValidateRejectsBadVarIndex(t *testing.T) {
+	p := NewProblem(1)
+	p.AddConstraint([]Term{{3, 1}}, LE, 1)
+	if _, err := Solve(p); err == nil {
+		t.Fatal("want error for out-of-range variable")
+	}
+}
+
+func TestValidateRejectsNaN(t *testing.T) {
+	p := NewProblem(1)
+	p.AddConstraint([]Term{{0, math.NaN()}}, LE, 1)
+	if _, err := Solve(p); err == nil {
+		t.Fatal("want error for NaN coefficient")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	p := NewProblem(1)
+	p.Maximize = true
+	p.Obj = []float64{1}
+	p.AddConstraint([]Term{{0, 1}}, LE, 5)
+	q := p.Clone()
+	q.AddConstraint([]Term{{0, 1}}, LE, 2)
+	sp := wantOptimal(t, p, 5)
+	sq := wantOptimal(t, q, 2)
+	_ = sp
+	_ = sq
+	if len(p.Cons) != 1 {
+		t.Fatalf("clone leaked a constraint into the original: %d rows", len(p.Cons))
+	}
+}
+
+// bruteForce finds the optimum of a bounded LP by enumerating basic
+// solutions: every subset of n constraints (including the implicit x ≥ 0
+// planes) is intersected and checked for feasibility.
+type plane struct {
+	a   []float64
+	rhs float64
+}
+
+func bruteForce(p *Problem) (float64, bool) {
+	n := p.NumVars
+	var planes []plane
+	for _, c := range p.Cons {
+		a := make([]float64, n)
+		for _, t := range c.Terms {
+			a[t.Var] += t.Coef
+		}
+		planes = append(planes, plane{a, c.RHS})
+	}
+	for j := 0; j < n; j++ {
+		a := make([]float64, n)
+		a[j] = 1
+		planes = append(planes, plane{a, 0})
+	}
+
+	feasible := func(x []float64) bool {
+		for j := 0; j < n; j++ {
+			if x[j] < -1e-7 {
+				return false
+			}
+		}
+		for i, c := range p.Cons {
+			v := 0.0
+			for j := 0; j < n; j++ {
+				v += planes[i].a[j] * x[j]
+			}
+			switch c.Sense {
+			case LE:
+				if v > c.RHS+1e-7 {
+					return false
+				}
+			case GE:
+				if v < c.RHS-1e-7 {
+					return false
+				}
+			case EQ:
+				if math.Abs(v-c.RHS) > 1e-7 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	best := math.Inf(-1)
+	if !p.Maximize {
+		best = math.Inf(1)
+	}
+	found := false
+
+	idx := make([]int, n)
+	var rec func(start, k int)
+	rec = func(start, k int) {
+		if k == n {
+			x, ok := solveSquare(planes, idx, n)
+			if !ok || !feasible(x) {
+				return
+			}
+			obj := 0.0
+			for j := 0; j < n; j++ {
+				obj += p.Obj[j] * x[j]
+			}
+			found = true
+			if p.Maximize {
+				if obj > best {
+					best = obj
+				}
+			} else if obj < best {
+				best = obj
+			}
+			return
+		}
+		for i := start; i < len(planes); i++ {
+			idx[k] = i
+			rec(i+1, k+1)
+		}
+	}
+	rec(0, 0)
+	return best, found
+}
+
+// solveSquare solves the n×n system formed by the selected planes via
+// Gaussian elimination with partial pivoting.
+func solveSquare(planes []plane, idx []int, n int) ([]float64, bool) {
+	a := make([][]float64, n)
+	b := make([]float64, n)
+	for r := 0; r < n; r++ {
+		a[r] = append([]float64(nil), planes[idx[r]].a...)
+		b[r] = planes[idx[r]].rhs
+	}
+	for col := 0; col < n; col++ {
+		piv, pv := -1, 1e-9
+		for r := col; r < n; r++ {
+			if v := math.Abs(a[r][col]); v > pv {
+				piv, pv = r, v
+			}
+		}
+		if piv < 0 {
+			return nil, false
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		inv := 1 / a[col][col]
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				a[r][j] -= f * a[col][j]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for j := 0; j < n; j++ {
+		x[j] = b[j] / a[j][j]
+	}
+	return x, true
+}
+
+// TestAgainstBruteForce cross-checks the simplex against exhaustive vertex
+// enumeration on random small, box-bounded problems.
+func TestAgainstBruteForce(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 300}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(2) // 2 or 3 vars
+		p := NewProblem(n)
+		p.Maximize = rng.Intn(2) == 0
+		p.Obj = make([]float64, n)
+		for j := range p.Obj {
+			p.Obj[j] = float64(rng.Intn(11) - 5)
+		}
+		// Box constraints guarantee boundedness.
+		for j := 0; j < n; j++ {
+			p.AddConstraint([]Term{{j, 1}}, LE, float64(1+rng.Intn(10)))
+		}
+		extra := rng.Intn(4)
+		for i := 0; i < extra; i++ {
+			terms := make([]Term, 0, n)
+			for j := 0; j < n; j++ {
+				if c := rng.Intn(7) - 3; c != 0 {
+					terms = append(terms, Term{j, float64(c)})
+				}
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			sense := Sense(rng.Intn(3))
+			rhs := float64(rng.Intn(15) - 3)
+			p.AddConstraint(terms, sense, rhs)
+		}
+
+		s, err := Solve(p)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		want, found := bruteForce(p)
+		switch s.Status {
+		case Optimal:
+			if !found {
+				t.Logf("seed %d: simplex optimal %g but brute force found nothing", seed, s.Objective)
+				return false
+			}
+			if math.Abs(s.Objective-want) > 1e-5 {
+				t.Logf("seed %d: simplex %g vs brute force %g", seed, s.Objective, want)
+				return false
+			}
+			// Verify primal feasibility of the returned point.
+			for i, c := range p.Cons {
+				v := 0.0
+				for _, tm := range c.Terms {
+					v += tm.Coef * s.X[tm.Var]
+				}
+				ok := true
+				switch c.Sense {
+				case LE:
+					ok = v <= c.RHS+1e-6
+				case GE:
+					ok = v >= c.RHS-1e-6
+				case EQ:
+					ok = math.Abs(v-c.RHS) <= 1e-6
+				}
+				if !ok {
+					t.Logf("seed %d: constraint %d violated: %g %v %g", seed, i, v, c.Sense, c.RHS)
+					return false
+				}
+			}
+		case Infeasible:
+			if found {
+				t.Logf("seed %d: simplex says infeasible but brute force found %g", seed, want)
+				return false
+			}
+		case Unbounded:
+			t.Logf("seed %d: unexpected unbounded on box-bounded problem", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSimplexMedium(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	n, m := 120, 60
+	p := NewProblem(n)
+	p.Maximize = true
+	p.Obj = make([]float64, n)
+	for j := range p.Obj {
+		p.Obj[j] = rng.Float64()
+	}
+	for i := 0; i < m; i++ {
+		terms := make([]Term, 0, n/4)
+		for j := 0; j < n; j++ {
+			if rng.Intn(4) == 0 {
+				terms = append(terms, Term{j, rng.Float64()})
+			}
+		}
+		p.AddConstraint(terms, LE, 5+10*rng.Float64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

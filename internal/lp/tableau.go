@@ -1,0 +1,312 @@
+package lp
+
+import "math"
+
+// tableau is the dense working state of the simplex method. Column layout:
+//
+//	[0, n)            structural variables
+//	[n, n+nslack)     slack/surplus columns (one per LE/GE row)
+//	[n+nslack, ncols) artificial columns (one per GE/EQ row)
+//
+// rows[i] is the i-th constraint row expressed in the current basis, rhs[i]
+// its right-hand side (always ≥ 0 for a feasible basis), and basis[i] the
+// column currently basic in row i. obj is the reduced-cost row and objShift
+// the objective value of the current basis (with sign such that the solver
+// always minimizes).
+type tableau struct {
+	m, n    int // constraint rows, structural variables
+	nslack  int
+	nart    int
+	ncols   int
+	rows    [][]float64
+	rhs     []float64
+	basis   []int
+	obj     []float64
+	objShif float64
+	tol     float64
+	iters   int
+	// artStart is the first artificial column; columns ≥ artStart are barred
+	// from entering once phase 1 completes.
+	artStart int
+	inPhase2 bool
+}
+
+type iterStatus int8
+
+const (
+	optimal iterStatus = iota
+	unbounded
+	iterLimit
+)
+
+func newTableau(p *Problem, tol float64) *tableau {
+	m := len(p.Cons)
+	n := p.NumVars
+
+	// Count auxiliary columns. Every LE/GE row gets one slack/surplus;
+	// every GE/EQ row gets one artificial. Rows are normalized so RHS ≥ 0
+	// first, which may flip the sense.
+	type rowInfo struct {
+		sense Sense
+		neg   bool
+	}
+	info := make([]rowInfo, m)
+	nslack, nart := 0, 0
+	for i, c := range p.Cons {
+		s := c.Sense
+		neg := c.RHS < 0
+		if neg {
+			switch s {
+			case LE:
+				s = GE
+			case GE:
+				s = LE
+			}
+		}
+		info[i] = rowInfo{sense: s, neg: neg}
+		if s != EQ {
+			nslack++
+		}
+		if s != LE {
+			nart++
+		}
+	}
+
+	t := &tableau{
+		m:        m,
+		n:        n,
+		nslack:   nslack,
+		nart:     nart,
+		ncols:    n + nslack + nart,
+		rows:     make([][]float64, m),
+		rhs:      make([]float64, m),
+		basis:    make([]int, m),
+		obj:      nil,
+		tol:      tol,
+		artStart: n + nslack,
+	}
+	flat := make([]float64, m*t.ncols)
+	for i := range t.rows {
+		t.rows[i] = flat[i*t.ncols : (i+1)*t.ncols]
+	}
+
+	slackCol := n
+	artCol := t.artStart
+	for i, c := range p.Cons {
+		row := t.rows[i]
+		sgn := 1.0
+		if info[i].neg {
+			sgn = -1.0
+		}
+		for _, term := range c.Terms {
+			row[term.Var] += sgn * term.Coef
+		}
+		t.rhs[i] = sgn * c.RHS
+		switch info[i].sense {
+		case LE:
+			row[slackCol] = 1
+			t.basis[i] = slackCol
+			slackCol++
+		case GE:
+			row[slackCol] = -1
+			slackCol++
+			row[artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		case EQ:
+			row[artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		}
+	}
+
+	// Phase-1 objective: minimize the sum of artificials. Price out the
+	// initially-basic artificials: obj_j = -Σ_{rows with artificial basic} row_j.
+	t.obj = make([]float64, t.ncols)
+	for j := t.artStart; j < t.ncols; j++ {
+		t.obj[j] = 1
+	}
+	for i := range t.rows {
+		if t.basis[i] >= t.artStart {
+			for j := 0; j < t.ncols; j++ {
+				t.obj[j] -= t.rows[i][j]
+			}
+			t.objShif -= t.rhs[i]
+		}
+	}
+	return t
+}
+
+// objVal returns the current objective value (in the minimizing direction).
+func (t *tableau) objVal() float64 { return -t.objShif }
+
+// setPhase2Objective installs the caller's objective (converted to
+// minimization) and prices out the current basis.
+func (t *tableau) setPhase2Objective(p *Problem) {
+	for j := range t.obj {
+		t.obj[j] = 0
+	}
+	t.objShif = 0
+	sgn := 1.0
+	if p.Maximize {
+		sgn = -1.0
+	}
+	for j, c := range p.Obj {
+		t.obj[j] = sgn * c
+	}
+	for i, bv := range t.basis {
+		c := t.obj[bv]
+		if c == 0 {
+			continue
+		}
+		row := t.rows[i]
+		for j := 0; j < t.ncols; j++ {
+			t.obj[j] -= c * row[j]
+		}
+		t.obj[bv] = 0 // exact, avoids drift
+		t.objShif -= c * t.rhs[i]
+	}
+	t.inPhase2 = true
+}
+
+// dropArtificials prepares the tableau for phase 2: artificial columns are
+// barred from entering, and any artificial still basic (necessarily at zero
+// level) is pivoted out onto a non-artificial column when possible. If a row
+// has no eligible pivot the row is redundant and the artificial stays basic
+// at zero, which is harmless.
+func (t *tableau) dropArtificials() {
+	for i := range t.basis {
+		if t.basis[i] < t.artStart {
+			continue
+		}
+		row := t.rows[i]
+		pivotCol := -1
+		for j := 0; j < t.artStart; j++ {
+			if math.Abs(row[j]) > t.tol {
+				pivotCol = j
+				break
+			}
+		}
+		if pivotCol >= 0 {
+			t.pivot(i, pivotCol)
+		}
+	}
+}
+
+// iterate runs simplex pivots until optimality, unboundedness, or the
+// iteration budget is reached. It starts with Dantzig pricing and falls back
+// to Bland's rule after a long degenerate stall, which guarantees
+// termination.
+func (t *tableau) iterate(maxIter int) iterStatus {
+	stall := 0
+	bland := false
+	const stallLimit = 200
+	for {
+		if t.iters >= maxIter {
+			return iterLimit
+		}
+		col := t.chooseEntering(bland)
+		if col < 0 {
+			return optimal
+		}
+		row := t.chooseLeaving(col)
+		if row < 0 {
+			return unbounded
+		}
+		degenerate := t.rhs[row] <= t.tol
+		t.pivot(row, col)
+		t.iters++
+		if degenerate {
+			stall++
+			if stall >= stallLimit {
+				bland = true
+			}
+		} else {
+			stall = 0
+			bland = false
+		}
+	}
+}
+
+// chooseEntering returns the entering column, or -1 at optimality.
+func (t *tableau) chooseEntering(bland bool) int {
+	limit := t.ncols
+	if t.inPhase2 {
+		limit = t.artStart // artificials may not re-enter
+	}
+	if bland {
+		for j := 0; j < limit; j++ {
+			if t.obj[j] < -t.tol {
+				return j
+			}
+		}
+		return -1
+	}
+	best, bestVal := -1, -t.tol
+	for j := 0; j < limit; j++ {
+		if t.obj[j] < bestVal {
+			bestVal = t.obj[j]
+			best = j
+		}
+	}
+	return best
+}
+
+// chooseLeaving runs the ratio test for the entering column, returning the
+// pivot row or -1 if the column is unbounded. Ties break toward the smallest
+// basis variable index (a lexicographic-ish guard against cycling).
+func (t *tableau) chooseLeaving(col int) int {
+	bestRow := -1
+	bestRatio := math.Inf(1)
+	for i := 0; i < t.m; i++ {
+		a := t.rows[i][col]
+		if a <= t.tol {
+			continue
+		}
+		r := t.rhs[i] / a
+		if r < bestRatio-t.tol || (r < bestRatio+t.tol && (bestRow < 0 || t.basis[i] < t.basis[bestRow])) {
+			bestRatio = r
+			bestRow = i
+		}
+	}
+	return bestRow
+}
+
+// pivot makes column col basic in row prow.
+func (t *tableau) pivot(prow, col int) {
+	prowData := t.rows[prow]
+	inv := 1 / prowData[col]
+	for j := 0; j < t.ncols; j++ {
+		prowData[j] *= inv
+	}
+	prowData[col] = 1 // exact
+	t.rhs[prow] *= inv
+
+	for i := 0; i < t.m; i++ {
+		if i == prow {
+			continue
+		}
+		f := t.rows[i][col]
+		if f == 0 {
+			continue
+		}
+		row := t.rows[i]
+		for j := 0; j < t.ncols; j++ {
+			row[j] -= f * prowData[j]
+		}
+		row[col] = 0 // exact
+		t.rhs[i] -= f * t.rhs[prow]
+		if t.rhs[i] < 0 && t.rhs[i] > -t.tol {
+			t.rhs[i] = 0
+		}
+	}
+	f := t.obj[col]
+	if f != 0 {
+		for j := 0; j < t.ncols; j++ {
+			t.obj[j] -= f * prowData[j]
+		}
+		t.obj[col] = 0
+		t.objShif -= f * t.rhs[prow]
+	}
+	t.basis[prow] = col
+}

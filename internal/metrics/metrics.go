@@ -1,0 +1,226 @@
+// Package metrics collects the evaluation metrics of §6.1: system accuracy
+// (mean accuracy over answered requests), SLO violation ratio (requests that
+// finish late or are dropped), and cluster utilization (active workers over
+// cluster size), both as whole-run summaries and as time series for the
+// Figure 5/6 plots.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Collector aggregates request outcomes into fixed-width time buckets.
+// It is not safe for concurrent use; the live engine wraps it in a mutex.
+type Collector struct {
+	BucketSec float64
+	Servers   int // cluster size, for utilization
+
+	buckets []bucket
+}
+
+type bucket struct {
+	arrivals    int
+	completed   int // answered in time
+	late        int // answered past the deadline
+	dropped     int // preemptively dropped or lost
+	accuracySum float64
+	accuracyN   int
+	latencySum  float64
+	latencyMax  float64
+	demandSum   float64 // integral of offered demand (QPS × samples)
+	demandN     int
+	serversSum  float64
+	serversN    int
+}
+
+// NewCollector creates a collector with the given bucket width.
+func NewCollector(bucketSec float64, servers int) *Collector {
+	return &Collector{BucketSec: bucketSec, Servers: servers}
+}
+
+func (c *Collector) at(t float64) *bucket {
+	i := int(t / c.BucketSec)
+	if i < 0 {
+		i = 0
+	}
+	for len(c.buckets) <= i {
+		c.buckets = append(c.buckets, bucket{})
+	}
+	return &c.buckets[i]
+}
+
+// Arrival records a request entering the system at time t.
+func (c *Collector) Arrival(t float64) { c.at(t).arrivals++ }
+
+// Completed records a request answered at time t. late marks completion past
+// its deadline; latency is the end-to-end response time; accuracy is the
+// mean end-to-end accuracy of its answers.
+func (c *Collector) Completed(t float64, late bool, latency, accuracy float64) {
+	b := c.at(t)
+	if late {
+		b.late++
+	} else {
+		b.completed++
+	}
+	b.latencySum += latency
+	if latency > b.latencyMax {
+		b.latencyMax = latency
+	}
+	if !math.IsNaN(accuracy) {
+		b.accuracySum += accuracy
+		b.accuracyN++
+	}
+}
+
+// Dropped records a request dropped (fully or partially) at time t.
+func (c *Collector) Dropped(t float64) { c.at(t).dropped++ }
+
+// SampleDemand records the instantaneous offered demand at time t.
+func (c *Collector) SampleDemand(t, qps float64) {
+	b := c.at(t)
+	b.demandSum += qps
+	b.demandN++
+}
+
+// SampleServers records the number of active servers at time t.
+func (c *Collector) SampleServers(t float64, servers int) {
+	b := c.at(t)
+	b.serversSum += float64(servers)
+	b.serversN++
+}
+
+// Point is one time-bucket of the series.
+type Point struct {
+	TimeSec        float64
+	DemandQPS      float64
+	ServedQPS      float64 // completed (on time or late) per second
+	Accuracy       float64 // mean accuracy of answers in the bucket
+	ViolationRatio float64 // (late+dropped)/arrivals
+	Utilization    float64 // active servers / cluster size
+	Servers        float64
+}
+
+// Series returns per-bucket points.
+func (c *Collector) Series() []Point {
+	out := make([]Point, len(c.buckets))
+	for i, b := range c.buckets {
+		p := Point{TimeSec: float64(i) * c.BucketSec}
+		if b.demandN > 0 {
+			p.DemandQPS = b.demandSum / float64(b.demandN)
+		}
+		p.ServedQPS = float64(b.completed+b.late) / c.BucketSec
+		if b.accuracyN > 0 {
+			p.Accuracy = b.accuracySum / float64(b.accuracyN)
+		}
+		if b.arrivals > 0 {
+			p.ViolationRatio = float64(b.late+b.dropped) / float64(b.arrivals)
+		}
+		if b.serversN > 0 {
+			p.Servers = b.serversSum / float64(b.serversN)
+			if c.Servers > 0 {
+				p.Utilization = p.Servers / float64(c.Servers)
+			}
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// Summary is the whole-run aggregate.
+type Summary struct {
+	Arrivals       int
+	Completed      int // answered on time
+	Late           int
+	Dropped        int
+	ViolationRatio float64 // (late+dropped)/arrivals
+	MeanAccuracy   float64 // over answered requests
+	MinAccuracy    float64 // lowest bucket mean (the "max accuracy drop" metric)
+	MeanLatency    float64 // over answered requests (seconds)
+	MaxLatency     float64
+	MeanServers    float64
+	MinServers     float64
+	MaxServers     float64
+	MeanUtiliz     float64
+}
+
+// Summarize aggregates the whole run.
+func (c *Collector) Summarize() Summary {
+	var s Summary
+	accSum := 0.0
+	accN := 0
+	srvSum, srvN := 0.0, 0
+	s.MinAccuracy = math.Inf(1)
+	s.MinServers = math.Inf(1)
+	latSum := 0.0
+	for _, b := range c.buckets {
+		s.Arrivals += b.arrivals
+		s.Completed += b.completed
+		s.Late += b.late
+		s.Dropped += b.dropped
+		accSum += b.accuracySum
+		accN += b.accuracyN
+		latSum += b.latencySum
+		if b.latencyMax > s.MaxLatency {
+			s.MaxLatency = b.latencyMax
+		}
+		if b.accuracyN > 0 {
+			if m := b.accuracySum / float64(b.accuracyN); m < s.MinAccuracy {
+				s.MinAccuracy = m
+			}
+		}
+		if b.serversN > 0 {
+			mean := b.serversSum / float64(b.serversN)
+			srvSum += mean
+			srvN++
+			if mean < s.MinServers {
+				s.MinServers = mean
+			}
+			if mean > s.MaxServers {
+				s.MaxServers = mean
+			}
+		}
+	}
+	if s.Arrivals > 0 {
+		s.ViolationRatio = float64(s.Late+s.Dropped) / float64(s.Arrivals)
+	}
+	if accN > 0 {
+		s.MeanAccuracy = accSum / float64(accN)
+	}
+	if n := s.Completed + s.Late; n > 0 {
+		s.MeanLatency = latSum / float64(n)
+	}
+	if srvN > 0 {
+		s.MeanServers = srvSum / float64(srvN)
+		if c.Servers > 0 {
+			s.MeanUtiliz = s.MeanServers / float64(c.Servers)
+		}
+	}
+	if math.IsInf(s.MinAccuracy, 1) {
+		s.MinAccuracy = 0
+	}
+	if math.IsInf(s.MinServers, 1) {
+		s.MinServers = 0
+	}
+	return s
+}
+
+// String renders the summary in one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("arrivals=%d completed=%d late=%d dropped=%d viol=%.4f acc=%.4f servers=%.1f util=%.2f",
+		s.Arrivals, s.Completed, s.Late, s.Dropped, s.ViolationRatio, s.MeanAccuracy, s.MeanServers, s.MeanUtiliz)
+}
+
+// FormatSeries renders series points as an aligned table, one row per
+// bucket, for the experiment CLIs.
+func FormatSeries(points []Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s %12s %12s %10s %10s %12s\n",
+		"time(s)", "demand(qps)", "served(qps)", "accuracy", "util", "slo-viol")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%10.0f %12.1f %12.1f %10.4f %10.2f %12.4f\n",
+			p.TimeSec, p.DemandQPS, p.ServedQPS, p.Accuracy, p.Utilization, p.ViolationRatio)
+	}
+	return b.String()
+}

@@ -1,0 +1,149 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestViolationRatioCountsLateAndDropped(t *testing.T) {
+	c := NewCollector(10, 4)
+	for i := 0; i < 10; i++ {
+		c.Arrival(1)
+	}
+	for i := 0; i < 6; i++ {
+		c.Completed(2, false, 0.1, 0.9)
+	}
+	c.Completed(2, true, 0.4, 0.8) // late
+	c.Dropped(3)
+	c.Dropped(3)
+	c.Dropped(3)
+	s := c.Summarize()
+	if s.Arrivals != 10 || s.Completed != 6 || s.Late != 1 || s.Dropped != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.ViolationRatio-0.4) > 1e-12 {
+		t.Fatalf("violation ratio = %g, want 0.4", s.ViolationRatio)
+	}
+}
+
+func TestAccuracyAveragesOverAnswered(t *testing.T) {
+	c := NewCollector(10, 4)
+	c.Arrival(0)
+	c.Arrival(0)
+	c.Completed(1, false, 0.1, 0.8)
+	c.Completed(1, true, 0.3, 1.0)
+	s := c.Summarize()
+	if math.Abs(s.MeanAccuracy-0.9) > 1e-12 {
+		t.Fatalf("accuracy = %g, want 0.9", s.MeanAccuracy)
+	}
+	if math.Abs(s.MeanLatency-0.2) > 1e-12 {
+		t.Fatalf("latency = %g, want 0.2", s.MeanLatency)
+	}
+}
+
+func TestNaNAccuracySkipped(t *testing.T) {
+	c := NewCollector(10, 4)
+	c.Arrival(0)
+	c.Completed(1, false, 0.1, math.NaN())
+	s := c.Summarize()
+	if s.MeanAccuracy != 0 {
+		t.Fatalf("NaN accuracy leaked into the mean: %g", s.MeanAccuracy)
+	}
+}
+
+func TestUtilizationFromServerSamples(t *testing.T) {
+	c := NewCollector(10, 20)
+	c.SampleServers(1, 10)
+	c.SampleServers(2, 10)
+	s := c.Summarize()
+	if math.Abs(s.MeanUtiliz-0.5) > 1e-12 {
+		t.Fatalf("utilization = %g, want 0.5", s.MeanUtiliz)
+	}
+}
+
+func TestSeriesBucketsByTime(t *testing.T) {
+	c := NewCollector(10, 4)
+	c.Arrival(5)
+	c.Completed(5, false, 0.1, 1.0)
+	c.Arrival(15)
+	c.Dropped(15)
+	c.SampleDemand(5, 100)
+	c.SampleDemand(15, 200)
+	pts := c.Series()
+	if len(pts) != 2 {
+		t.Fatalf("got %d buckets, want 2", len(pts))
+	}
+	if pts[0].ViolationRatio != 0 || pts[1].ViolationRatio != 1 {
+		t.Fatalf("bucket violation ratios = %g, %g", pts[0].ViolationRatio, pts[1].ViolationRatio)
+	}
+	if pts[0].DemandQPS != 100 || pts[1].DemandQPS != 200 {
+		t.Fatalf("bucket demands = %g, %g", pts[0].DemandQPS, pts[1].DemandQPS)
+	}
+}
+
+func TestMinAccuracyTracksWorstBucket(t *testing.T) {
+	c := NewCollector(10, 4)
+	c.Arrival(1)
+	c.Completed(1, false, 0.1, 1.0)
+	c.Arrival(11)
+	c.Completed(11, false, 0.1, 0.7)
+	s := c.Summarize()
+	if math.Abs(s.MinAccuracy-0.7) > 1e-12 {
+		t.Fatalf("min accuracy = %g, want 0.7", s.MinAccuracy)
+	}
+}
+
+func TestNegativeTimeClampsToFirstBucket(t *testing.T) {
+	c := NewCollector(10, 4)
+	c.Arrival(-5)
+	if c.Summarize().Arrivals != 1 {
+		t.Fatal("negative-time arrival lost")
+	}
+}
+
+func TestFormatSeriesHasHeaderAndRows(t *testing.T) {
+	c := NewCollector(10, 4)
+	c.Arrival(0)
+	c.Completed(1, false, 0.1, 0.5)
+	out := FormatSeries(c.Series())
+	if !strings.Contains(out, "slo-viol") {
+		t.Fatal("missing header")
+	}
+	if got := strings.Count(out, "\n"); got != 2 {
+		t.Fatalf("got %d lines, want 2 (header + 1 row)", got)
+	}
+}
+
+// TestSummaryConservation: completed + late + dropped never exceeds
+// arrivals when events are recorded consistently.
+func TestSummaryConservation(t *testing.T) {
+	f := func(nOK, nLate, nDrop uint8) bool {
+		c := NewCollector(5, 4)
+		total := int(nOK) + int(nLate) + int(nDrop)
+		for i := 0; i < total; i++ {
+			c.Arrival(float64(i % 50))
+		}
+		for i := 0; i < int(nOK); i++ {
+			c.Completed(float64(i%50), false, 0.1, 1)
+		}
+		for i := 0; i < int(nLate); i++ {
+			c.Completed(float64(i%50), true, 0.6, 1)
+		}
+		for i := 0; i < int(nDrop); i++ {
+			c.Dropped(float64(i % 50))
+		}
+		s := c.Summarize()
+		if s.Completed+s.Late+s.Dropped != s.Arrivals {
+			return false
+		}
+		if total > 0 && (s.ViolationRatio < 0 || s.ViolationRatio > 1) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

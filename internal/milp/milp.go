@@ -1,0 +1,453 @@
+// Package milp implements an exact mixed-integer linear programming solver
+// using LP-relaxation branch and bound on top of internal/lp.
+//
+// It plays the role Gurobi plays in the Loki paper: the Resource Manager
+// formulates hardware-scaling and accuracy-scaling allocations as MILPs and
+// needs proven-optimal solutions on problems with a few hundred integer
+// variables. The solver is anytime — give it a time limit and it returns the
+// best incumbent found with a bound on the remaining gap, mirroring how a
+// production controller invokes a commercial solver on a fixed control
+// period.
+package milp
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+	"time"
+
+	"loki/internal/lp"
+)
+
+// Problem is a linear program plus integrality marks.
+type Problem struct {
+	LP      *lp.Problem
+	Integer []bool // len LP.NumVars; true marks an integer-constrained variable
+}
+
+// Status reports the outcome of a solve.
+type Status int8
+
+// Solve outcomes.
+const (
+	// Optimal means the incumbent is proven optimal.
+	Optimal Status = iota
+	// Feasible means an integer-feasible incumbent was found but a limit
+	// (time or nodes) stopped the proof of optimality.
+	Feasible
+	// Infeasible means no integer-feasible point exists.
+	Infeasible
+	// Unbounded means the LP relaxation is unbounded.
+	Unbounded
+	// NoSolution means a limit was hit before any incumbent was found.
+	NoSolution
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case NoSolution:
+		return "no-solution"
+	default:
+		return "unknown"
+	}
+}
+
+// Options tunes the branch-and-bound search.
+type Options struct {
+	// TimeLimit stops the search after the given wall-clock duration.
+	// Zero means no limit.
+	TimeLimit time.Duration
+	// MaxNodes bounds the number of branch-and-bound nodes. Zero means
+	// 200 000.
+	MaxNodes int
+	// IntTol is the integrality tolerance. Zero means 1e-6.
+	IntTol float64
+	// RelGap stops the search once (bestBound-incumbent)/|incumbent| falls
+	// below this value. Zero means prove optimality exactly (up to IntTol).
+	RelGap float64
+	// AbsGap prunes nodes whose bound exceeds the incumbent by at most
+	// this amount — the search stops once no node can improve the
+	// incumbent by more than AbsGap.
+	AbsGap float64
+	// ObjIntegral asserts that the objective takes integer values on every
+	// integer-feasible point (true for pure counting objectives such as
+	// "minimize servers"), which lets the solver round every relaxation
+	// bound to the nearest achievable integer and prune far more
+	// aggressively.
+	ObjIntegral bool
+	// Incumbent optionally seeds the search with a known integer-feasible
+	// point (e.g. from a greedy heuristic). It is verified before use.
+	Incumbent []float64
+	// LPOptions is passed through to the LP solver at every node.
+	LPOptions lp.Options
+}
+
+// Result is the outcome of a solve.
+type Result struct {
+	Status    Status
+	X         []float64 // incumbent (valid for Optimal/Feasible)
+	Objective float64   // incumbent objective in the problem's direction
+	BestBound float64   // proven bound on the optimum
+	Nodes     int       // branch-and-bound nodes explored
+	LPIters   int       // total simplex pivots across all nodes
+}
+
+// Gap returns the relative optimality gap of the result, 0 for a proven
+// optimum and +Inf when no incumbent exists.
+func (r *Result) Gap() float64 {
+	if r.Status == Optimal {
+		return 0
+	}
+	if r.X == nil {
+		return math.Inf(1)
+	}
+	denom := math.Abs(r.Objective)
+	if denom < 1e-12 {
+		denom = 1e-12
+	}
+	return math.Abs(r.BestBound-r.Objective) / denom
+}
+
+// ErrBadProblem reports a malformed problem.
+var ErrBadProblem = errors.New("milp: malformed problem")
+
+// node is one branch-and-bound subproblem, defined by a chain of variable
+// bound overrides hanging off the root relaxation.
+type node struct {
+	parent *node
+	branch int     // variable the parent branched on (-1 at root)
+	lo, hi float64 // bound override for the branch variable
+	depth  int
+	bound  float64 // LP relaxation objective (in maximize-normalized form)
+	order  int64   // LIFO tie-break: newer nodes first → diving behaviour
+}
+
+// nodeHeap is a max-heap on relaxation bound with LIFO tie-breaking so the
+// search dives for early incumbents while still expanding best-bound first.
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].bound != h[j].bound {
+		return h[i].bound > h[j].bound
+	}
+	return h[i].order > h[j].order
+}
+func (h nodeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)   { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Solve runs branch and bound with default options.
+func Solve(p *Problem) (*Result, error) {
+	return SolveWithOptions(p, Options{})
+}
+
+// SolveWithOptions runs branch and bound.
+func SolveWithOptions(p *Problem, opt Options) (*Result, error) {
+	if p.LP == nil {
+		return nil, ErrBadProblem
+	}
+	if p.Integer != nil && len(p.Integer) != p.LP.NumVars {
+		return nil, ErrBadProblem
+	}
+	intTol := opt.IntTol
+	if intTol == 0 {
+		intTol = 1e-6
+	}
+	maxNodes := opt.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 200_000
+	}
+	var deadline time.Time
+	if opt.TimeLimit > 0 {
+		deadline = time.Now().Add(opt.TimeLimit)
+	}
+
+	s := &search{
+		p:      p,
+		intTol: intTol,
+		lpOpt:  opt.LPOptions,
+		// Normalize to maximization internally.
+		sign: 1.0,
+	}
+	if !p.LP.Maximize {
+		s.sign = -1.0
+	}
+
+	res := &Result{Status: NoSolution, BestBound: math.Inf(1)}
+
+	incumbentVal := math.Inf(-1) // maximize-normalized incumbent objective
+	var incumbentX []float64
+	if opt.Incumbent != nil {
+		if v, ok := s.checkFeasible(opt.Incumbent); ok {
+			incumbentVal = v
+			incumbentX = append([]float64(nil), opt.Incumbent...)
+		}
+	}
+
+	root := &node{branch: -1}
+	sol, err := s.solveNode(root)
+	if err != nil {
+		return nil, err
+	}
+	res.LPIters += sol.Iters
+	switch sol.Status {
+	case lp.Infeasible:
+		if incumbentX != nil {
+			// The seed incumbent passed feasibility but the relaxation is
+			// infeasible — numerically impossible; trust the relaxation.
+			return &Result{Status: Infeasible, Nodes: 1, LPIters: res.LPIters}, nil
+		}
+		return &Result{Status: Infeasible, Nodes: 1, LPIters: res.LPIters}, nil
+	case lp.Unbounded:
+		return &Result{Status: Unbounded, Nodes: 1, LPIters: res.LPIters}, nil
+	case lp.IterLimit:
+		return &Result{Status: NoSolution, Nodes: 1, LPIters: res.LPIters}, nil
+	}
+	root.bound = s.sign * sol.Objective
+
+	var order int64
+	h := nodeHeap{root}
+	rootSolutions := map[*node]*lp.Solution{root: sol}
+	nodes := 0
+	provenOptimal := true
+
+	for len(h) > 0 {
+		if nodes >= maxNodes || (!deadline.IsZero() && time.Now().After(deadline)) {
+			provenOptimal = false
+			break
+		}
+		nd := heap.Pop(&h).(*node)
+		if nd.bound <= incumbentVal+opt.AbsGap+1e-9 {
+			continue // pruned by bound
+		}
+		if opt.RelGap > 0 && incumbentX != nil {
+			denom := math.Max(math.Abs(incumbentVal), 1e-12)
+			if (nd.bound-incumbentVal)/denom <= opt.RelGap {
+				continue
+			}
+		}
+		nodes++
+
+		sol, cached := rootSolutions[nd]
+		if cached {
+			delete(rootSolutions, nd)
+		} else {
+			var err error
+			sol, err = s.solveNode(nd)
+			if err != nil {
+				return nil, err
+			}
+			res.LPIters += sol.Iters
+		}
+		switch sol.Status {
+		case lp.Infeasible:
+			continue
+		case lp.Unbounded:
+			// A child cannot be unbounded if the root was bounded, but be
+			// conservative.
+			return &Result{Status: Unbounded, Nodes: nodes, LPIters: res.LPIters}, nil
+		case lp.IterLimit:
+			provenOptimal = false
+			continue
+		}
+		bound := s.sign * sol.Objective
+		if opt.ObjIntegral {
+			// On integer points the objective is integral, so the best
+			// achievable value below this relaxation bound is its floor.
+			bound = math.Floor(bound + 1e-6)
+		}
+		if bound <= incumbentVal+opt.AbsGap+1e-9 {
+			continue
+		}
+
+		frac := s.mostFractional(sol.X)
+		if frac < 0 {
+			// Integer feasible: new incumbent.
+			if bound > incumbentVal {
+				incumbentVal = bound
+				incumbentX = roundIntegral(sol.X, p.Integer)
+			}
+			continue
+		}
+
+		// Early stop on relative gap.
+		if opt.RelGap > 0 && incumbentX != nil {
+			top := bound
+			if len(h) > 0 && h[0].bound > top {
+				top = h[0].bound
+			}
+			denom := math.Abs(incumbentVal)
+			if denom < 1e-12 {
+				denom = 1e-12
+			}
+			if (top-incumbentVal)/denom <= opt.RelGap {
+				provenOptimal = false
+				break
+			}
+		}
+
+		v := sol.X[frac]
+		lo := math.Floor(v)
+		order++
+		down := &node{parent: nd, branch: frac, lo: 0, hi: lo, depth: nd.depth + 1, bound: bound, order: order}
+		order++
+		up := &node{parent: nd, branch: frac, lo: lo + 1, hi: math.Inf(1), depth: nd.depth + 1, bound: bound, order: order}
+		heap.Push(&h, up) // explore the round-up branch first (dives toward capacity)
+		heap.Push(&h, down)
+	}
+
+	// Best remaining bound over open nodes.
+	best := incumbentVal
+	for _, nd := range h {
+		if nd.bound > best {
+			best = nd.bound
+		}
+	}
+
+	res.Nodes = nodes
+	if incumbentX == nil {
+		if len(h) == 0 && provenOptimal {
+			res.Status = Infeasible
+		} else {
+			res.Status = NoSolution
+		}
+		res.BestBound = s.sign * best
+		return res, nil
+	}
+	res.X = incumbentX
+	res.Objective = s.sign * incumbentVal
+	res.BestBound = s.sign * best
+	if len(h) == 0 && provenOptimal {
+		res.Status = Optimal
+		res.BestBound = res.Objective
+	} else {
+		res.Status = Feasible
+	}
+	return res, nil
+}
+
+type search struct {
+	p      *Problem
+	intTol float64
+	lpOpt  lp.Options
+	sign   float64 // +1 maximize, -1 minimize (normalizes bounds)
+}
+
+// solveNode materializes the node's bound chain as extra LP rows and solves
+// the relaxation.
+func (s *search) solveNode(nd *node) (*lp.Solution, error) {
+	// Collapse the bound chain: the tightest interval per variable wins.
+	lo := map[int]float64{}
+	hi := map[int]float64{}
+	for n := nd; n != nil && n.branch >= 0; n = n.parent {
+		if v, ok := lo[n.branch]; !ok || n.lo > v {
+			lo[n.branch] = n.lo
+		}
+		if v, ok := hi[n.branch]; !ok || n.hi < v {
+			hi[n.branch] = n.hi
+		}
+	}
+	q := s.p.LP.Clone()
+	for v, b := range lo {
+		if b > 0 {
+			q.AddConstraint([]lp.Term{{Var: v, Coef: 1}}, lp.GE, b)
+		}
+	}
+	for v, b := range hi {
+		if !math.IsInf(b, 1) {
+			q.AddConstraint([]lp.Term{{Var: v, Coef: 1}}, lp.LE, b)
+		}
+	}
+	return lp.SolveWithOptions(q, s.lpOpt)
+}
+
+// mostFractional returns the integer variable whose relaxation value is
+// farthest from integral, or -1 if all are integral within tolerance.
+func (s *search) mostFractional(x []float64) int {
+	best, bestDist := -1, s.intTol
+	for j, isInt := range s.p.Integer {
+		if !isInt {
+			continue
+		}
+		f := x[j] - math.Floor(x[j])
+		d := math.Min(f, 1-f)
+		if d > bestDist {
+			bestDist = d
+			best = j
+		}
+	}
+	return best
+}
+
+// checkFeasible verifies a candidate point against all constraints and
+// integrality, returning its maximize-normalized objective.
+func (s *search) checkFeasible(x []float64) (float64, bool) {
+	if len(x) != s.p.LP.NumVars {
+		return 0, false
+	}
+	const tol = 1e-6
+	for j, v := range x {
+		if v < -tol {
+			return 0, false
+		}
+		if s.p.Integer != nil && s.p.Integer[j] {
+			if math.Abs(v-math.Round(v)) > tol {
+				return 0, false
+			}
+		}
+	}
+	for _, c := range s.p.LP.Cons {
+		lhs := 0.0
+		for _, t := range c.Terms {
+			lhs += t.Coef * x[t.Var]
+		}
+		switch c.Sense {
+		case lp.LE:
+			if lhs > c.RHS+tol {
+				return 0, false
+			}
+		case lp.GE:
+			if lhs < c.RHS-tol {
+				return 0, false
+			}
+		case lp.EQ:
+			if math.Abs(lhs-c.RHS) > tol {
+				return 0, false
+			}
+		}
+	}
+	obj := 0.0
+	for j, c := range s.p.LP.Obj {
+		obj += c * x[j]
+	}
+	return s.sign * obj, true
+}
+
+// roundIntegral snaps near-integral values exactly onto integers so
+// downstream consumers (replica counts) see clean numbers.
+func roundIntegral(x []float64, isInt []bool) []float64 {
+	out := append([]float64(nil), x...)
+	for j := range out {
+		if isInt != nil && isInt[j] {
+			out[j] = math.Round(out[j])
+		}
+	}
+	return out
+}

@@ -1,0 +1,365 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"loki/internal/lp"
+)
+
+func allInt(n int) []bool {
+	b := make([]bool, n)
+	for i := range b {
+		b[i] = true
+	}
+	return b
+}
+
+func TestKnapsack(t *testing.T) {
+	// max 10a + 13b + 7c s.t. 3a + 4b + 2c <= 9, a,b,c ∈ {0,1}.
+	// Best: a=1, b=1, c=1 → weight 9, value 30.
+	p := lp.NewProblem(3)
+	p.Maximize = true
+	p.Obj = []float64{10, 13, 7}
+	p.AddConstraint([]lp.Term{{Var: 0, Coef: 3}, {Var: 1, Coef: 4}, {Var: 2, Coef: 2}}, lp.LE, 9)
+	for j := 0; j < 3; j++ {
+		p.AddConstraint([]lp.Term{{Var: j, Coef: 1}}, lp.LE, 1)
+	}
+	r, err := Solve(&Problem{LP: p, Integer: allInt(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Optimal || math.Abs(r.Objective-30) > 1e-6 {
+		t.Fatalf("got %v obj %g, want optimal 30 (x=%v)", r.Status, r.Objective, r.X)
+	}
+}
+
+func TestFractionalLPRoundsDown(t *testing.T) {
+	// max x s.t. 2x <= 5, x integer → x = 2.
+	p := lp.NewProblem(1)
+	p.Maximize = true
+	p.Obj = []float64{1}
+	p.AddConstraint([]lp.Term{{Var: 0, Coef: 2}}, lp.LE, 5)
+	r, err := Solve(&Problem{LP: p, Integer: allInt(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Optimal || math.Abs(r.Objective-2) > 1e-6 {
+		t.Fatalf("got %v obj %g, want optimal 2", r.Status, r.Objective)
+	}
+}
+
+func TestIntegerInfeasible(t *testing.T) {
+	// 0.4 <= x <= 0.6 has no integer point.
+	p := lp.NewProblem(1)
+	p.Maximize = true
+	p.Obj = []float64{1}
+	p.AddConstraint([]lp.Term{{Var: 0, Coef: 1}}, lp.GE, 0.4)
+	p.AddConstraint([]lp.Term{{Var: 0, Coef: 1}}, lp.LE, 0.6)
+	r, err := Solve(&Problem{LP: p, Integer: allInt(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Infeasible {
+		t.Fatalf("got %v, want infeasible", r.Status)
+	}
+}
+
+func TestLPInfeasible(t *testing.T) {
+	p := lp.NewProblem(1)
+	p.AddConstraint([]lp.Term{{Var: 0, Coef: 1}}, lp.GE, 2)
+	p.AddConstraint([]lp.Term{{Var: 0, Coef: 1}}, lp.LE, 1)
+	r, err := Solve(&Problem{LP: p, Integer: allInt(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Infeasible {
+		t.Fatalf("got %v, want infeasible", r.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := lp.NewProblem(1)
+	p.Maximize = true
+	p.Obj = []float64{1}
+	r, err := Solve(&Problem{LP: p, Integer: allInt(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Unbounded {
+		t.Fatalf("got %v, want unbounded", r.Status)
+	}
+}
+
+func TestMixedIntegerContinuous(t *testing.T) {
+	// max 2x + y, x integer, y continuous, x + y <= 3.5, x <= 2.2 →
+	// x = 2, y = 1.5, obj 5.5.
+	p := lp.NewProblem(2)
+	p.Maximize = true
+	p.Obj = []float64{2, 1}
+	p.AddConstraint([]lp.Term{{Var: 0, Coef: 1}, {Var: 1, Coef: 1}}, lp.LE, 3.5)
+	p.AddConstraint([]lp.Term{{Var: 0, Coef: 1}}, lp.LE, 2.2)
+	r, err := Solve(&Problem{LP: p, Integer: []bool{true, false}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Optimal || math.Abs(r.Objective-5.5) > 1e-6 {
+		t.Fatalf("got %v obj %g (x=%v), want optimal 5.5", r.Status, r.Objective, r.X)
+	}
+	if math.Abs(r.X[0]-2) > 1e-9 {
+		t.Fatalf("integer variable not integral: %v", r.X)
+	}
+}
+
+func TestMinimizationDirection(t *testing.T) {
+	// min 3x + 2y s.t. x + y >= 3.5, integers → x=0, y=4 costs 8;
+	// x=1,y=3 → 9; x=2,y=2 → 10; x=3,y=1→11... best is y=4 → 8.
+	// But also x=0,y=4 =8 vs x=1,y=3=9; optimum 8? y only:
+	// 2*4=8. And x=0,y=4 feasible (4>=3.5). Want 8.
+	p := lp.NewProblem(2)
+	p.Obj = []float64{3, 2}
+	p.AddConstraint([]lp.Term{{Var: 0, Coef: 1}, {Var: 1, Coef: 1}}, lp.GE, 3.5)
+	r, err := Solve(&Problem{LP: p, Integer: allInt(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Optimal || math.Abs(r.Objective-8) > 1e-6 {
+		t.Fatalf("got %v obj %g (x=%v), want optimal 8", r.Status, r.Objective, r.X)
+	}
+}
+
+func TestSeedIncumbentIsUsed(t *testing.T) {
+	// Seed the optimum; the solver should terminate optimal with it even
+	// with a node budget of 1 per branch direction.
+	p := lp.NewProblem(1)
+	p.Maximize = true
+	p.Obj = []float64{1}
+	p.AddConstraint([]lp.Term{{Var: 0, Coef: 2}}, lp.LE, 5)
+	r, err := SolveWithOptions(&Problem{LP: p, Integer: allInt(1)}, Options{Incumbent: []float64{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Optimal || math.Abs(r.Objective-2) > 1e-6 {
+		t.Fatalf("got %v obj %g, want optimal 2", r.Status, r.Objective)
+	}
+}
+
+func TestInfeasibleSeedIsRejected(t *testing.T) {
+	p := lp.NewProblem(1)
+	p.Maximize = true
+	p.Obj = []float64{1}
+	p.AddConstraint([]lp.Term{{Var: 0, Coef: 2}}, lp.LE, 5)
+	// Seed violates the constraint; solver must ignore it and still find 2.
+	r, err := SolveWithOptions(&Problem{LP: p, Integer: allInt(1)}, Options{Incumbent: []float64{7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Optimal || math.Abs(r.Objective-2) > 1e-6 {
+		t.Fatalf("got %v obj %g, want optimal 2", r.Status, r.Objective)
+	}
+}
+
+func TestNodeLimitReturnsFeasibleOrNoSolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 14
+	p := lp.NewProblem(n)
+	p.Maximize = true
+	p.Obj = make([]float64, n)
+	terms := make([]lp.Term, n)
+	for j := 0; j < n; j++ {
+		p.Obj[j] = 1 + rng.Float64()
+		terms[j] = lp.Term{Var: j, Coef: 1 + 2*rng.Float64()}
+		p.AddConstraint([]lp.Term{{Var: j, Coef: 1}}, lp.LE, 1)
+	}
+	p.AddConstraint(terms, lp.LE, float64(n)/3)
+	r, err := SolveWithOptions(&Problem{LP: p, Integer: allInt(n)}, Options{MaxNodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status == Optimal {
+		t.Skip("solved within 3 nodes; nothing to assert")
+	}
+	if r.Status != Feasible && r.Status != NoSolution {
+		t.Fatalf("got %v, want feasible/no-solution under node limit", r.Status)
+	}
+	if r.Status == Feasible && r.Gap() < 0 {
+		t.Fatalf("negative gap %g", r.Gap())
+	}
+}
+
+func TestTimeLimitHonored(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 24
+	p := lp.NewProblem(n)
+	p.Maximize = true
+	p.Obj = make([]float64, n)
+	terms := make([]lp.Term, n)
+	for j := 0; j < n; j++ {
+		p.Obj[j] = 1 + rng.Float64()
+		terms[j] = lp.Term{Var: j, Coef: 1 + 2*rng.Float64()}
+		p.AddConstraint([]lp.Term{{Var: j, Coef: 1}}, lp.LE, 1)
+	}
+	p.AddConstraint(terms, lp.LE, float64(n)/2.5)
+	start := time.Now()
+	_, err := SolveWithOptions(&Problem{LP: p, Integer: allInt(n)}, Options{TimeLimit: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("time limit grossly exceeded: %v", elapsed)
+	}
+}
+
+// bruteForceILP enumerates all integer points in [0,ub]^n.
+func bruteForceILP(p *lp.Problem, ub int) (float64, bool) {
+	n := p.NumVars
+	x := make([]float64, n)
+	best := math.Inf(-1)
+	if !p.Maximize {
+		best = math.Inf(1)
+	}
+	found := false
+	var rec func(j int)
+	rec = func(j int) {
+		if j == n {
+			for _, c := range p.Cons {
+				lhs := 0.0
+				for _, t := range c.Terms {
+					lhs += t.Coef * x[t.Var]
+				}
+				switch c.Sense {
+				case lp.LE:
+					if lhs > c.RHS+1e-9 {
+						return
+					}
+				case lp.GE:
+					if lhs < c.RHS-1e-9 {
+						return
+					}
+				case lp.EQ:
+					if math.Abs(lhs-c.RHS) > 1e-9 {
+						return
+					}
+				}
+			}
+			obj := 0.0
+			for k, c := range p.Obj {
+				obj += c * x[k]
+			}
+			found = true
+			if p.Maximize {
+				best = math.Max(best, obj)
+			} else {
+				best = math.Min(best, obj)
+			}
+			return
+		}
+		for v := 0; v <= ub; v++ {
+			x[j] = float64(v)
+			rec(j + 1)
+		}
+	}
+	rec(0)
+	return best, found
+}
+
+// TestAgainstBruteForceILP cross-checks branch and bound against exhaustive
+// enumeration on random small pure-integer programs.
+func TestAgainstBruteForceILP(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3) // 2..4 vars
+		ub := 3
+		p := lp.NewProblem(n)
+		p.Maximize = rng.Intn(2) == 0
+		p.Obj = make([]float64, n)
+		for j := range p.Obj {
+			p.Obj[j] = float64(rng.Intn(13) - 6)
+		}
+		for j := 0; j < n; j++ {
+			p.AddConstraint([]lp.Term{{Var: j, Coef: 1}}, lp.LE, float64(ub))
+		}
+		extra := 1 + rng.Intn(3)
+		for i := 0; i < extra; i++ {
+			var terms []lp.Term
+			for j := 0; j < n; j++ {
+				if c := rng.Intn(9) - 4; c != 0 {
+					terms = append(terms, lp.Term{Var: j, Coef: float64(c)})
+				}
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			p.AddConstraint(terms, lp.Sense(rng.Intn(3)), float64(rng.Intn(17)-4))
+		}
+		r, err := Solve(&Problem{LP: p, Integer: allInt(n)})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		want, found := bruteForceILP(p, ub)
+		switch r.Status {
+		case Optimal:
+			if !found {
+				t.Logf("seed %d: solver optimal %g, brute force found nothing", seed, r.Objective)
+				return false
+			}
+			if math.Abs(r.Objective-want) > 1e-5 {
+				t.Logf("seed %d: solver %g vs brute force %g (x=%v)", seed, r.Objective, want, r.X)
+				return false
+			}
+		case Infeasible:
+			if found {
+				t.Logf("seed %d: solver infeasible, brute force found %g", seed, want)
+				return false
+			}
+		default:
+			t.Logf("seed %d: unexpected status %v", seed, r.Status)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGapOfOptimalIsZero(t *testing.T) {
+	p := lp.NewProblem(1)
+	p.Maximize = true
+	p.Obj = []float64{1}
+	p.AddConstraint([]lp.Term{{Var: 0, Coef: 1}}, lp.LE, 3)
+	r, err := Solve(&Problem{LP: p, Integer: allInt(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := r.Gap(); g != 0 {
+		t.Fatalf("gap = %g, want 0", g)
+	}
+}
+
+func BenchmarkKnapsack20(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	n := 20
+	p := lp.NewProblem(n)
+	p.Maximize = true
+	p.Obj = make([]float64, n)
+	terms := make([]lp.Term, n)
+	for j := 0; j < n; j++ {
+		p.Obj[j] = 1 + rng.Float64()*9
+		terms[j] = lp.Term{Var: j, Coef: 1 + rng.Float64()*9}
+		p.AddConstraint([]lp.Term{{Var: j, Coef: 1}}, lp.LE, 1)
+	}
+	p.AddConstraint(terms, lp.LE, 25)
+	prob := &Problem{LP: p, Integer: allInt(n)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(prob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

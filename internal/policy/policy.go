@@ -1,0 +1,148 @@
+// Package policy implements the early-dropping mechanisms of §5.2: requests
+// that have fallen behind their per-task latency budgets can be dropped (to
+// free resources for requests that can still meet their SLOs) or, with
+// opportunistic rerouting, redirected to a faster downstream worker that has
+// leftover capacity.
+//
+// The four policies here are exactly the four arms of the Figure 7 ablation.
+package policy
+
+import (
+	"loki/internal/core"
+	"loki/internal/pipeline"
+)
+
+// Context is everything a policy may consult when a request finishes
+// executing at a worker.
+type Context struct {
+	Now      float64
+	Deadline float64 // absolute SLO deadline of the root request
+
+	// EnteredTask is when the request was enqueued at the just-finished
+	// worker; Budget is that worker's per-task latency budget (twice its
+	// batch latency, §4.2).
+	EnteredTask float64
+	Budget      float64
+
+	// HasNext is false when the completing task was this path's sink.
+	HasNext    bool
+	NextTask   pipeline.TaskID
+	NextIsSink bool
+	// NextExec is the profiled execution time of the worker the routing
+	// table picked for the next task.
+	NextExec float64
+	// NetLatency is one worker-to-worker hop.
+	NetLatency float64
+	// MinTail is the minimal time (fastest configurations, empty queues)
+	// still needed to finish this branch of the pipeline, network hops
+	// included. now + MinTail > deadline means the request cannot make its
+	// SLO on any path.
+	MinTail float64
+
+	// FindBackup searches the Load Balancer's backup table for a worker of
+	// the given task with leftover capacity and profiled execution time at
+	// most maxExec, preferring higher accuracy (§5.2). It returns false if
+	// none qualifies.
+	FindBackup func(task pipeline.TaskID, maxExec float64) (core.WorkerID, bool)
+}
+
+// Decision is a policy verdict.
+type Decision struct {
+	Drop bool
+	// Reroute, when true, redirects the request to Alternate instead of the
+	// routing-table worker.
+	Reroute   bool
+	Alternate core.WorkerID
+}
+
+var forward = Decision{}
+
+// Policy decides the fate of a request after each task execution.
+type Policy interface {
+	Name() string
+	OnTaskComplete(ctx *Context) Decision
+}
+
+// NoDrop never drops: requests follow the original routing plan to the end
+// (the "No early dropping" arm).
+type NoDrop struct{}
+
+// Name identifies the policy.
+func (NoDrop) Name() string { return "no-early-dropping" }
+
+// OnTaskComplete always forwards.
+func (NoDrop) OnTaskComplete(*Context) Decision { return forward }
+
+// LastTask drops only at the boundary to a path's final task: if the
+// remaining time cannot cover the final execution, the request is abandoned
+// (the "Last-task dropping" arm).
+type LastTask struct{}
+
+// Name identifies the policy.
+func (LastTask) Name() string { return "last-task-dropping" }
+
+// OnTaskComplete drops when the next task is the sink and the leftover
+// budget is smaller than its expected processing time.
+func (LastTask) OnTaskComplete(ctx *Context) Decision {
+	if !ctx.HasNext || !ctx.NextIsSink {
+		return forward
+	}
+	leftover := ctx.Deadline - ctx.Now - ctx.NetLatency
+	if leftover < ctx.NextExec {
+		return Decision{Drop: true}
+	}
+	return forward
+}
+
+// PerTask drops a request as soon as it exceeds the latency budget of any
+// task along its path (the "Per-task early dropping" arm). It can be overly
+// aggressive: a request over budget early may still catch up later.
+type PerTask struct{}
+
+// Name identifies the policy.
+func (PerTask) Name() string { return "per-task-dropping" }
+
+// OnTaskComplete drops when the time spent at the task (queueing plus
+// execution) exceeded the task's budget.
+func (PerTask) OnTaskComplete(ctx *Context) Decision {
+	if ctx.Now-ctx.EnteredTask > ctx.Budget {
+		return Decision{Drop: true}
+	}
+	return forward
+}
+
+// Opportunistic implements early dropping with opportunistic rerouting, the
+// full §5.2 mechanism: a request that overran its budget by x is redirected
+// to a backup worker whose execution time is at most (nextExec − x), making
+// up the deficit downstream; only if no such worker exists is it dropped.
+type Opportunistic struct{}
+
+// Name identifies the policy.
+func (Opportunistic) Name() string { return "opportunistic-rerouting" }
+
+// OnTaskComplete forwards on-budget requests, reroutes recoverable
+// stragglers, and drops requests that cannot meet their SLO on any
+// remaining path.
+func (Opportunistic) OnTaskComplete(ctx *Context) Decision {
+	x := (ctx.Now - ctx.EnteredTask) - ctx.Budget
+	if x <= 0 {
+		return forward
+	}
+	if !ctx.HasNext {
+		// The path is finished; lateness is judged at completion.
+		return forward
+	}
+	if ctx.FindBackup != nil {
+		if w, ok := ctx.FindBackup(ctx.NextTask, ctx.NextExec-x); ok {
+			return Decision{Reroute: true, Alternate: w}
+		}
+	}
+	// No backup can absorb the deficit. Drop only if the request is
+	// genuinely unlikely to meet its SLO — if even the planned route's
+	// remaining work fits the deadline, forwarding is still the better
+	// bet (dropping it would waste the work already done).
+	if ctx.Now+ctx.MinTail <= ctx.Deadline {
+		return forward
+	}
+	return Decision{Drop: true}
+}

@@ -1,0 +1,136 @@
+package policy
+
+import (
+	"testing"
+
+	"loki/internal/core"
+	"loki/internal/pipeline"
+)
+
+func baseCtx() *Context {
+	return &Context{
+		Now:         10.0,
+		Deadline:    10.25,
+		EnteredTask: 9.95,
+		Budget:      0.10,
+		HasNext:     true,
+		NextTask:    1,
+		NextIsSink:  true,
+		NextExec:    0.06,
+		NetLatency:  0.002,
+		MinTail:     0.07,
+	}
+}
+
+func TestNoDropNeverDrops(t *testing.T) {
+	ctx := baseCtx()
+	ctx.Now = 99 // hopelessly late
+	if d := (NoDrop{}).OnTaskComplete(ctx); d.Drop || d.Reroute {
+		t.Fatalf("NoDrop returned %+v", d)
+	}
+}
+
+func TestPerTaskDropsOnBudgetOverrun(t *testing.T) {
+	ctx := baseCtx()
+	ctx.EnteredTask = ctx.Now - ctx.Budget - 0.01 // over budget
+	if d := (PerTask{}).OnTaskComplete(ctx); !d.Drop {
+		t.Fatal("PerTask should drop an over-budget request")
+	}
+	ctx.EnteredTask = ctx.Now - ctx.Budget + 0.01 // within budget
+	if d := (PerTask{}).OnTaskComplete(ctx); d.Drop {
+		t.Fatal("PerTask dropped a within-budget request")
+	}
+}
+
+func TestLastTaskOnlyActsAtFinalHop(t *testing.T) {
+	ctx := baseCtx()
+	ctx.NextIsSink = false
+	ctx.Deadline = ctx.Now + 0.01 // cannot possibly finish
+	if d := (LastTask{}).OnTaskComplete(ctx); d.Drop {
+		t.Fatal("LastTask dropped before the final hop")
+	}
+	ctx.NextIsSink = true
+	if d := (LastTask{}).OnTaskComplete(ctx); !d.Drop {
+		t.Fatal("LastTask should drop when leftover budget < next execution time")
+	}
+	ctx.Deadline = ctx.Now + 1.0
+	if d := (LastTask{}).OnTaskComplete(ctx); d.Drop {
+		t.Fatal("LastTask dropped a request with ample slack")
+	}
+}
+
+func TestOpportunisticForwardsOnBudget(t *testing.T) {
+	ctx := baseCtx() // within budget (0.05 spent of 0.10)
+	if d := (Opportunistic{}).OnTaskComplete(ctx); d.Drop || d.Reroute {
+		t.Fatalf("got %+v, want plain forward", d)
+	}
+}
+
+func TestOpportunisticReroutesToFasterBackup(t *testing.T) {
+	ctx := baseCtx()
+	ctx.EnteredTask = ctx.Now - 0.13 // 30 ms over the 100 ms budget
+	wantMax := ctx.NextExec - 0.03
+	called := false
+	ctx.FindBackup = func(task pipeline.TaskID, maxExec float64) (core.WorkerID, bool) {
+		called = true
+		if task != ctx.NextTask {
+			t.Fatalf("FindBackup task = %d, want %d", task, ctx.NextTask)
+		}
+		if maxExec > wantMax+1e-9 || maxExec < wantMax-1e-9 {
+			t.Fatalf("maxExec = %g, want %g (nextExec − deficit)", maxExec, wantMax)
+		}
+		return 7, true
+	}
+	d := (Opportunistic{}).OnTaskComplete(ctx)
+	if !called {
+		t.Fatal("FindBackup not consulted")
+	}
+	if !d.Reroute || d.Alternate != 7 || d.Drop {
+		t.Fatalf("got %+v, want reroute to worker 7", d)
+	}
+}
+
+func TestOpportunisticForwardsWhenDeadlineStillReachable(t *testing.T) {
+	ctx := baseCtx()
+	ctx.EnteredTask = ctx.Now - 0.2 // way over budget
+	ctx.FindBackup = func(pipeline.TaskID, float64) (core.WorkerID, bool) { return 0, false }
+	ctx.MinTail = 0.07
+	ctx.Deadline = ctx.Now + 0.10 // 70 ms tail fits in 100 ms
+	if d := (Opportunistic{}).OnTaskComplete(ctx); d.Drop {
+		t.Fatal("dropped a request that can still meet its SLO")
+	}
+}
+
+func TestOpportunisticDropsHopelessRequest(t *testing.T) {
+	ctx := baseCtx()
+	ctx.EnteredTask = ctx.Now - 0.2
+	ctx.FindBackup = func(pipeline.TaskID, float64) (core.WorkerID, bool) { return 0, false }
+	ctx.MinTail = 0.07
+	ctx.Deadline = ctx.Now + 0.05 // cannot finish even on the fastest path
+	if d := (Opportunistic{}).OnTaskComplete(ctx); !d.Drop {
+		t.Fatal("should drop a request that cannot meet its SLO")
+	}
+}
+
+func TestOpportunisticAtSinkForwards(t *testing.T) {
+	ctx := baseCtx()
+	ctx.HasNext = false
+	ctx.EnteredTask = ctx.Now - 1.0
+	if d := (Opportunistic{}).OnTaskComplete(ctx); d.Drop {
+		t.Fatal("a finished path must not be dropped retroactively")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	names := map[string]Policy{
+		"no-early-dropping":       NoDrop{},
+		"last-task-dropping":      LastTask{},
+		"per-task-dropping":       PerTask{},
+		"opportunistic-rerouting": Opportunistic{},
+	}
+	for want, p := range names {
+		if got := p.Name(); got != want {
+			t.Errorf("Name() = %q, want %q", got, want)
+		}
+	}
+}

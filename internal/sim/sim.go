@@ -1,0 +1,107 @@
+// Package sim is a minimal discrete-event simulation engine: a virtual
+// clock and a binary-heap event queue. It is the substrate under
+// internal/cluster, standing in for the paper's real 20-GPU testbed — the
+// paper itself runs its parameter sweeps on a discrete-event simulator
+// extended from Proteus (§6.1), so this substrate reproduces the published
+// methodology, not just approximates it.
+package sim
+
+import "container/heap"
+
+// Event is a scheduled callback.
+type event struct {
+	at  float64
+	seq uint64 // FIFO tie-break for simultaneous events
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return it
+}
+
+// Engine runs events in virtual-time order. Time is in seconds. The zero
+// value is ready to use.
+type Engine struct {
+	h       eventHeap
+	now     float64
+	seq     uint64
+	stopped bool
+	events  uint64 // executed events, for instrumentation
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Events returns the number of events executed so far.
+func (e *Engine) Events() uint64 { return e.events }
+
+// At schedules fn at absolute virtual time t. Scheduling in the past is a
+// programming error and panics, because it would silently corrupt causality.
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.seq++
+	heap.Push(&e.h, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn delay seconds from now.
+func (e *Engine) After(delay float64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.At(e.now+delay, fn)
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in order until the queue empties or the next event
+// lies strictly beyond until. The clock finishes at min(until, last event
+// time); it never runs backwards.
+func (e *Engine) Run(until float64) {
+	e.stopped = false
+	for len(e.h) > 0 && !e.stopped {
+		if e.h[0].at > until {
+			break
+		}
+		ev := heap.Pop(&e.h).(event)
+		e.now = ev.at
+		e.events++
+		ev.fn()
+	}
+	if until > e.now {
+		e.now = until
+	}
+}
+
+// RunAll executes every pending event (including ones scheduled while
+// running) until the queue is empty.
+func (e *Engine) RunAll() {
+	e.stopped = false
+	for len(e.h) > 0 && !e.stopped {
+		ev := heap.Pop(&e.h).(event)
+		e.now = ev.at
+		e.events++
+		ev.fn()
+	}
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.h) }

@@ -1,0 +1,317 @@
+// Package loki is a serving system for ML inference pipelines with joint
+// hardware and accuracy scaling, reproducing "Loki: A System for Serving ML
+// Inference Pipelines with Hardware and Accuracy Scaling" (HPDC 2024).
+//
+// A pipeline is a rooted tree of tasks; each task is served by a family of
+// model variants trading accuracy for throughput. Loki's Resource Manager
+// periodically solves a MILP that first tries to serve the demand with the
+// most accurate variants on as few servers as possible (hardware scaling)
+// and, once the cluster is exhausted, picks the variant mix that sacrifices
+// the least end-to-end accuracy while meeting demand and the latency SLO
+// (accuracy scaling). Its Load Balancer routes queries to the most accurate
+// workers first and rescues stragglers by opportunistically rerouting them
+// to faster workers with leftover capacity.
+//
+// Quick start:
+//
+//	report, err := loki.Serve(loki.TrafficAnalysisPipeline(),
+//	    loki.AzureTrace(1, 96, 10, 1100),
+//	    loki.WithServers(20),
+//	    loki.WithSLO(250*time.Millisecond))
+//	if err != nil { ... }
+//	fmt.Println(report)
+//
+// The lower-level building blocks (allocation plans, routing tables, the
+// discrete-event cluster, the wall-clock engine) are exposed through the
+// Plan and Routes types and the cmd/ tools; the experiments regenerating
+// every figure of the paper live behind the Experiment functions.
+package loki
+
+import (
+	"fmt"
+	"time"
+
+	"loki/internal/core"
+	"loki/internal/experiments"
+	"loki/internal/metrics"
+	"loki/internal/pipeline"
+	"loki/internal/policy"
+	"loki/internal/profiles"
+	"loki/internal/trace"
+)
+
+// Pipeline is an inference pipeline: a rooted tree of tasks.
+type Pipeline = pipeline.Graph
+
+// Task is one stage of a pipeline.
+type Task = pipeline.Task
+
+// TaskID indexes a task within its pipeline.
+type TaskID = pipeline.TaskID
+
+// Child is a task→task edge with its branch ratio.
+type Child = pipeline.Child
+
+// Variant is one model variant: accuracy, batch-latency profile, and
+// multiplicative factor.
+type Variant = pipeline.Variant
+
+// Trace is a demand series driving a serving run.
+type Trace = trace.Trace
+
+// Plan is a resource allocation: model variants, replica counts, and max
+// batch sizes (the Resource Manager's output).
+type Plan = core.Plan
+
+// Routes are the routing tables MostAccurateFirst produces.
+type Routes = core.Routes
+
+// Policy is an early-dropping mechanism applied at task boundaries.
+type Policy = policy.Policy
+
+// The four §5.2 policies.
+var (
+	NoDropPolicy        Policy = policy.NoDrop{}
+	LastTaskPolicy      Policy = policy.LastTask{}
+	PerTaskPolicy       Policy = policy.PerTask{}
+	OpportunisticPolicy Policy = policy.Opportunistic{}
+)
+
+// Canned pipelines from the paper's evaluation.
+
+// TrafficAnalysisPipeline returns the Figure 2a pipeline: YOLOv5 object
+// detection feeding EfficientNet car classification and VGG facial
+// recognition.
+func TrafficAnalysisPipeline() *Pipeline { return profiles.TrafficTree() }
+
+// TrafficChainPipeline returns the two-task chain of Figure 1.
+func TrafficChainPipeline() *Pipeline { return profiles.TrafficChain() }
+
+// SocialMediaPipeline returns the Figure 2b pipeline: ResNet image
+// classification feeding CLIP-ViT captioning.
+func SocialMediaPipeline() *Pipeline { return profiles.SocialMedia() }
+
+// Canned workloads.
+
+// AzureTrace synthesizes a diurnal trace shaped like the Azure Functions
+// workload, scaled to the given peak QPS.
+func AzureTrace(seed int64, steps int, stepSec, peakQPS float64) *Trace {
+	return trace.AzureLike(seed, steps, stepSec).ScaleToPeak(peakQPS)
+}
+
+// TwitterTrace synthesizes a diurnal trace with bursts shaped like the
+// Twitter streaming workload.
+func TwitterTrace(seed int64, steps int, stepSec, peakQPS float64) *Trace {
+	return trace.TwitterLike(seed, steps, stepSec).ScaleToPeak(peakQPS)
+}
+
+// RampTrace is a linear demand ramp.
+func RampTrace(startQPS, endQPS float64, steps int, stepSec float64) *Trace {
+	return trace.Ramp(startQPS, endQPS, steps, stepSec)
+}
+
+// Baseline selects an alternative resource-management strategy for Serve.
+type Baseline int
+
+// Baselines from §6.1. BaselineNone runs Loki itself.
+const (
+	BaselineNone      Baseline = iota // Loki: hardware + accuracy scaling
+	BaselineInferLine                 // hardware scaling only, fixed variants
+	BaselineProteus                   // pipeline-agnostic per-task accuracy scaling
+)
+
+// Option configures Serve.
+type Option func(*config)
+
+type config struct {
+	servers    int
+	slo        time.Duration
+	netLatency time.Duration
+	seed       int64
+	pol        Policy
+	baseline   Baseline
+	headroom   float64
+	swap       time.Duration
+	solveLimit time.Duration
+	jitter     float64
+	minAcc     float64
+}
+
+// WithServers sets the cluster size (default 20, the paper's testbed).
+func WithServers(n int) Option { return func(c *config) { c.servers = n } }
+
+// WithSLO sets the end-to-end latency SLO (default 250 ms).
+func WithSLO(d time.Duration) Option { return func(c *config) { c.slo = d } }
+
+// WithNetworkLatency sets the per-hop communication latency (default 2 ms).
+func WithNetworkLatency(d time.Duration) Option {
+	return func(c *config) { c.netLatency = d }
+}
+
+// WithSeed fixes all stochastic choices.
+func WithSeed(s int64) Option { return func(c *config) { c.seed = s } }
+
+// WithPolicy selects the early-dropping policy (default opportunistic
+// rerouting).
+func WithPolicy(p Policy) Option { return func(c *config) { c.pol = p } }
+
+// WithBaseline serves with a baseline strategy instead of Loki.
+func WithBaseline(b Baseline) Option { return func(c *config) { c.baseline = b } }
+
+// WithHeadroom sets the capacity over-provisioning factor (default 0.30).
+func WithHeadroom(h float64) Option { return func(c *config) { c.headroom = h } }
+
+// WithSwapLatency models the model-load pause when a worker changes variant.
+func WithSwapLatency(d time.Duration) Option { return func(c *config) { c.swap = d } }
+
+// WithSolveTimeLimit bounds each Resource Manager MILP solve (default 500 ms).
+func WithSolveTimeLimit(d time.Duration) Option {
+	return func(c *config) { c.solveLimit = d }
+}
+
+// WithExecutionJitter adds relative noise to batch execution latencies.
+func WithExecutionJitter(j float64) Option { return func(c *config) { c.jitter = j } }
+
+// WithMinAccuracy sets a floor on end-to-end path accuracy: accuracy
+// scaling never routes queries through variant combinations below it (§1
+// notes deployments usually impose a minimum acceptable accuracy, which
+// bounds how far accuracy scaling may go). Demand beyond the floored
+// capacity is shed instead.
+func WithMinAccuracy(a float64) Option { return func(c *config) { c.minAcc = a } }
+
+// Report is the outcome of a serving run.
+type Report struct {
+	// Accuracy is the mean end-to-end accuracy over answered requests
+	// (normalized; 1.0 = every task used its most accurate variant).
+	Accuracy float64
+	// SLOViolationRatio is the fraction of requests that finished past
+	// their deadline or were dropped.
+	SLOViolationRatio float64
+	// MeanServers / MinServers / MaxServers track hardware scaling.
+	MeanServers, MinServers, MaxServers float64
+	// MeanLatency is the mean end-to-end response time of answered
+	// requests.
+	MeanLatency time.Duration
+	// Requests breakdown.
+	Arrivals, Completed, Late, Dropped, Rerouted int64
+	// Series holds per-bucket time series for plotting.
+	Series []SeriesPoint
+}
+
+// SeriesPoint is one metrics bucket of a run.
+type SeriesPoint = metrics.Point
+
+// String summarizes the report.
+func (r *Report) String() string {
+	return fmt.Sprintf("accuracy=%.4f slo-violations=%.4f servers=%.1f (min %.0f, max %.0f) requests=%d (late %d, dropped %d)",
+		r.Accuracy, r.SLOViolationRatio, r.MeanServers, r.MinServers, r.MaxServers,
+		r.Arrivals, r.Late, r.Dropped)
+}
+
+func buildConfig(opts []Option) config {
+	c := config{
+		servers:    20,
+		slo:        250 * time.Millisecond,
+		netLatency: 2 * time.Millisecond,
+		pol:        OpportunisticPolicy,
+	}
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// Serve runs the pipeline against the workload on a simulated cluster and
+// reports the §6.1 metrics. It is deterministic for a fixed seed.
+func Serve(p *Pipeline, tr *Trace, opts ...Option) (*Report, error) {
+	c := buildConfig(opts)
+	ap := experiments.Loki
+	switch c.baseline {
+	case BaselineInferLine:
+		ap = experiments.InferLine
+	case BaselineProteus:
+		ap = experiments.Proteus
+	}
+	res, err := experiments.Run(experiments.RunConfig{
+		Graph:          p,
+		Trace:          tr,
+		Approach:       ap,
+		Policy:         c.pol,
+		Servers:        c.servers,
+		SLOSec:         c.slo.Seconds(),
+		NetLatencySec:  c.netLatency.Seconds(),
+		Seed:           c.seed,
+		SwapLatencySec: c.swap.Seconds(),
+		Headroom:       c.headroom,
+		MinAccuracy:    c.minAcc,
+		SolveTimeLimit: c.solveLimit,
+		ExecJitter:     c.jitter,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := res.Summary
+	return &Report{
+		Accuracy:          s.MeanAccuracy,
+		SLOViolationRatio: s.ViolationRatio,
+		MeanServers:       s.MeanServers,
+		MinServers:        s.MinServers,
+		MaxServers:        s.MaxServers,
+		MeanLatency:       time.Duration(s.MeanLatency * float64(time.Second)),
+		Arrivals:          int64(s.Arrivals),
+		Completed:         int64(s.Completed),
+		Late:              int64(s.Late),
+		Dropped:           int64(s.Dropped),
+		Rerouted:          res.Rerouted,
+		Series:            res.Series,
+	}, nil
+}
+
+// PlanFor runs the Resource Manager once for a demand level, returning the
+// optimal allocation plan (useful for capacity planning without a full
+// serving run).
+func PlanFor(p *Pipeline, demandQPS float64, opts ...Option) (*Plan, error) {
+	c := buildConfig(opts)
+	prof := (&profiles.Profiler{Seed: c.seed}).ProfileGraph(p, profiles.Batches)
+	meta := core.NewMetadataStore(p, prof, c.slo.Seconds(), profiles.Batches)
+	headroom := c.headroom
+	if headroom == 0 {
+		headroom = 0.30
+	}
+	alloc, err := core.NewAllocator(meta, core.AllocatorOptions{
+		Servers:         c.servers,
+		NetLatencySec:   c.netLatency.Seconds(),
+		KeepWarm:        true,
+		Headroom:        headroom,
+		MinPathAccuracy: c.minAcc,
+		SolveTimeLimit:  c.solveLimit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return alloc.Allocate(demandQPS)
+}
+
+// MaxCapacity estimates the largest demand (QPS) the cluster can fully serve
+// with accuracy scaling enabled.
+func MaxCapacity(p *Pipeline, opts ...Option) (float64, error) {
+	c := buildConfig(opts)
+	prof := (&profiles.Profiler{Seed: c.seed}).ProfileGraph(p, profiles.Batches)
+	meta := core.NewMetadataStore(p, prof, c.slo.Seconds(), profiles.Batches)
+	headroom := c.headroom
+	if headroom == 0 {
+		headroom = 0.30
+	}
+	alloc, err := core.NewAllocator(meta, core.AllocatorOptions{
+		Servers:         c.servers,
+		NetLatencySec:   c.netLatency.Seconds(),
+		KeepWarm:        true,
+		Headroom:        headroom,
+		MinPathAccuracy: c.minAcc,
+		SolveTimeLimit:  c.solveLimit,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return alloc.MaxCapacity(0, 20000), nil
+}
