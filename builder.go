@@ -1,0 +1,166 @@
+package loki
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PipelineBuilder assembles custom inference pipelines as rooted task trees.
+// The first Task call declares the root; Child grows the tree under a cursor
+// task (the root, or wherever At last moved it); Build validates the result.
+//
+//	pipe, err := loki.NewPipeline("traffic-analysis").
+//	    Task("object-detection", loki.MustVariantFamily("yolov5")...).
+//	    Child("car-classification", 0.70, loki.MustVariantFamily("efficientnet")...).
+//	    Child("facial-recognition", 0.30, loki.MustVariantFamily("vgg")...).
+//	    Build()
+//
+// Construction errors (duplicate names, unknown parents, empty variant
+// families) accumulate and surface from Build, so calls chain without
+// intermediate checks. A builder is single-use: Build hands over its graph.
+type PipelineBuilder struct {
+	g      *Pipeline
+	index  map[string]TaskID
+	cursor TaskID
+	errs   []error
+}
+
+// NewPipeline starts a builder for a pipeline with the given name.
+func NewPipeline(name string) *PipelineBuilder {
+	return &PipelineBuilder{
+		g:      &Pipeline{Name: name},
+		index:  map[string]TaskID{},
+		cursor: -1,
+	}
+}
+
+func (b *PipelineBuilder) errf(format string, args ...any) *PipelineBuilder {
+	b.errs = append(b.errs, fmt.Errorf("loki: "+format, args...))
+	return b
+}
+
+// addTask appends a task vertex, returning its ID (or -1 on error).
+func (b *PipelineBuilder) addTask(name string, variants []Variant) TaskID {
+	if name == "" {
+		b.errf("task needs a name")
+		return -1
+	}
+	if _, dup := b.index[name]; dup {
+		b.errf("duplicate task %q", name)
+		return -1
+	}
+	if len(variants) == 0 {
+		b.errf("task %q has an empty variant family", name)
+		return -1
+	}
+	id := TaskID(len(b.g.Tasks))
+	b.g.Tasks = append(b.g.Tasks, Task{
+		ID:       id,
+		Name:     name,
+		Variants: append([]Variant(nil), variants...),
+	})
+	b.index[name] = id
+	return id
+}
+
+// Task declares the pipeline's root task and sets the cursor on it. A
+// pipeline has exactly one root; grow the tree with Child and ChildOf.
+func (b *PipelineBuilder) Task(name string, variants ...Variant) *PipelineBuilder {
+	if len(b.g.Tasks) > 0 {
+		return b.errf("Task(%q): pipeline already has a root %q; use Child or ChildOf", name, b.g.Tasks[0].Name)
+	}
+	if id := b.addTask(name, variants); id >= 0 {
+		b.cursor = id
+	}
+	return b
+}
+
+// Child declares a new task as a child of the cursor task. branchRatio is
+// the fraction of the parent's output queries that flow down this edge (in
+// (0, 1]). The cursor stays on the parent, so consecutive Child calls add
+// siblings; use At to descend.
+func (b *PipelineBuilder) Child(name string, branchRatio float64, variants ...Variant) *PipelineBuilder {
+	if b.cursor < 0 {
+		return b.errf("Child(%q): declare the root with Task first", name)
+	}
+	return b.childOf(b.cursor, name, branchRatio, variants)
+}
+
+// ChildOf declares a new task as a child of the named parent.
+func (b *PipelineBuilder) ChildOf(parent, name string, branchRatio float64, variants ...Variant) *PipelineBuilder {
+	pid, ok := b.index[parent]
+	if !ok {
+		return b.errf("ChildOf(%q, %q): unknown parent task %q", parent, name, parent)
+	}
+	return b.childOf(pid, name, branchRatio, variants)
+}
+
+func (b *PipelineBuilder) childOf(parent TaskID, name string, branchRatio float64, variants []Variant) *PipelineBuilder {
+	id := b.addTask(name, variants)
+	if id < 0 {
+		return b
+	}
+	b.g.Tasks[parent].Children = append(b.g.Tasks[parent].Children,
+		Child{Task: id, BranchRatio: branchRatio})
+	return b
+}
+
+// At moves the cursor to a declared task, so Child calls attach under it.
+func (b *PipelineBuilder) At(name string) *PipelineBuilder {
+	id, ok := b.index[name]
+	if !ok {
+		return b.errf("At(%q): unknown task", name)
+	}
+	b.cursor = id
+	return b
+}
+
+// Output marks the named task as a pipeline output even though it has
+// children (an interior sink, like the social-media pipeline's
+// classification stage). Leaves are outputs regardless.
+func (b *PipelineBuilder) Output(name string) *PipelineBuilder {
+	id, ok := b.index[name]
+	if !ok {
+		return b.errf("Output(%q): unknown task", name)
+	}
+	b.g.Tasks[id].Output = true
+	return b
+}
+
+// Link adds an edge between two already-declared tasks. Pipelines must stay
+// rooted trees, so a Link that forms a cycle, reaches the root, or gives a
+// task two parents is rejected by Build.
+func (b *PipelineBuilder) Link(parent, child string, branchRatio float64) *PipelineBuilder {
+	pid, pok := b.index[parent]
+	cid, cok := b.index[child]
+	if !pok {
+		return b.errf("Link(%q, %q): unknown task %q", parent, child, parent)
+	}
+	if !cok {
+		return b.errf("Link(%q, %q): unknown task %q", parent, child, child)
+	}
+	// The graph under construction is a tree, so a cycle can only arise by
+	// linking a task to one of its ancestors (the root included).
+	for id := pid; id >= 0; {
+		if id == cid {
+			return b.errf("Link(%q, %q): would create a cycle", parent, child)
+		}
+		id, _ = b.g.Parent(id)
+	}
+	b.g.Tasks[pid].Children = append(b.g.Tasks[pid].Children,
+		Child{Task: cid, BranchRatio: branchRatio})
+	return b
+}
+
+// Build validates the assembled pipeline and returns it. All accumulated
+// construction errors and any structural violation (not a rooted tree,
+// malformed variant profile, bad branch ratio) are reported.
+func (b *PipelineBuilder) Build() (*Pipeline, error) {
+	if len(b.errs) > 0 {
+		return nil, errors.Join(b.errs...)
+	}
+	if err := b.g.Validate(); err != nil {
+		return nil, err
+	}
+	return b.g, nil
+}

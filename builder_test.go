@@ -1,0 +1,220 @@
+package loki_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"loki"
+)
+
+func trafficMirror(t *testing.T) *loki.Pipeline {
+	t.Helper()
+	pipe, err := loki.NewPipeline("traffic-analysis").
+		Task("object-detection", loki.MustVariantFamily("yolov5")...).
+		Child("car-classification", 0.70, loki.MustVariantFamily("efficientnet")...).
+		Child("facial-recognition", 0.30, loki.MustVariantFamily("vgg")...).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pipe
+}
+
+func TestBuilderMirrorsTrafficTree(t *testing.T) {
+	built := trafficMirror(t)
+	canned := loki.TrafficAnalysisPipeline()
+	if !reflect.DeepEqual(built, canned) {
+		t.Fatalf("builder graph differs from canned tree:\n%+v\nvs\n%+v", built, canned)
+	}
+}
+
+// The acceptance check: a builder-assembled mirror of the canned traffic
+// pipeline serves a trace with identical summary metrics.
+func TestBuilderPipelineServesIdentically(t *testing.T) {
+	tr := loki.AzureTrace(1, 16, 5, 500)
+	fromBuilder, err := loki.Serve(trafficMirror(t), tr, loki.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromCanned, err := loki.Serve(loki.TrafficAnalysisPipeline(), tr, loki.WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromBuilder, fromCanned) {
+		t.Fatalf("reports differ:\n%v\nvs\n%v", fromBuilder, fromCanned)
+	}
+}
+
+func TestBuilderMirrorsSocialMediaWithOutput(t *testing.T) {
+	built, err := loki.NewPipeline("social-media").
+		Task("image-classification", loki.MustVariantFamily("resnet")...).
+		Child("image-captioning", 0.90, loki.MustVariantFamily("clip-vit")...).
+		Output("image-classification").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(built, loki.SocialMediaPipeline()) {
+		t.Fatal("builder graph differs from canned social-media pipeline")
+	}
+}
+
+func TestBuilderValidationErrors(t *testing.T) {
+	fam := loki.MustVariantFamily("yolov5")
+
+	cases := []struct {
+		name string
+		b    *loki.PipelineBuilder
+		want string
+	}{
+		{
+			name: "unknown parent",
+			b: loki.NewPipeline("p").
+				Task("a", fam...).
+				ChildOf("nope", "b", 0.5, fam...),
+			want: "unknown parent",
+		},
+		{
+			name: "empty variant family",
+			b: loki.NewPipeline("p").
+				Task("a", fam...).
+				Child("b", 0.5),
+			want: "empty variant family",
+		},
+		{
+			name: "duplicate task",
+			b: loki.NewPipeline("p").
+				Task("a", fam...).
+				Child("a", 0.5, fam...),
+			want: "duplicate task",
+		},
+		{
+			name: "child before root",
+			b:    loki.NewPipeline("p").Child("b", 0.5, fam...),
+			want: "declare the root",
+		},
+		{
+			name: "second root",
+			b: loki.NewPipeline("p").
+				Task("a", fam...).
+				Task("b", fam...),
+			want: "already has a root",
+		},
+		{
+			name: "cycle via link to root",
+			b: loki.NewPipeline("p").
+				Task("a", fam...).
+				Child("b", 1.0, fam...).
+				Link("b", "a", 0.5),
+			want: "cycle",
+		},
+		{
+			name: "two parents via link",
+			b: loki.NewPipeline("p").
+				Task("a", fam...).
+				Child("b", 1.0, fam...).
+				Child("c", 1.0, fam...).
+				Link("c", "b", 0.5),
+			want: "not a rooted tree",
+		},
+		{
+			name: "bad branch ratio",
+			b: loki.NewPipeline("p").
+				Task("a", fam...).
+				Child("b", 1.7, fam...),
+			want: "branch ratio",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := tc.b.Build()
+			if err == nil {
+				t.Fatalf("Build succeeded (%+v), want error containing %q", g, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestBuilderAtDescends(t *testing.T) {
+	fam := loki.MustVariantFamily("yolov5")
+	g, err := loki.NewPipeline("deep").
+		Task("a", fam...).
+		Child("b", 0.8, fam...).
+		At("b").
+		Child("c", 0.5, fam...).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Tasks) != 3 || len(g.Tasks[1].Children) != 1 || g.Tasks[1].Children[0].Task != 2 {
+		t.Fatalf("expected a→b→c chain, got %+v", g.Tasks)
+	}
+}
+
+func TestVariantFamilyRegistry(t *testing.T) {
+	names := loki.VariantFamilies()
+	for _, want := range []string{"yolov5", "efficientnet", "vgg", "resnet", "clip-vit"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("built-in family %q missing from %v", want, names)
+		}
+	}
+
+	if _, err := loki.VariantFamily("no-such-family"); err == nil {
+		t.Fatal("unknown family lookup must fail")
+	}
+	if err := loki.RegisterVariantFamily("", nil); err == nil {
+		t.Fatal("nameless registration must fail")
+	}
+	if err := loki.RegisterVariantFamily("custom-empty", nil); err == nil {
+		t.Fatal("empty registration must fail")
+	}
+	if err := loki.RegisterVariantFamily("yolov5", loki.MustVariantFamily("vgg")); err == nil {
+		t.Fatal("re-registering a built-in must fail")
+	}
+	bad := []loki.Variant{{Name: "bad", Accuracy: 1.5, Alpha: 0.001, Beta: 0.001, MultFactor: 1}}
+	if err := loki.RegisterVariantFamily("custom-bad", bad); err == nil {
+		t.Fatal("out-of-range accuracy must fail")
+	}
+
+	custom := []loki.Variant{
+		{Name: "tiny", Accuracy: 0.8, RawAccuracy: 0.6, Alpha: 0.001, Beta: 0.0005, MultFactor: 1},
+		{Name: "big", Accuracy: 1.0, RawAccuracy: 0.75, Alpha: 0.003, Beta: 0.0015, MultFactor: 1},
+	}
+	if err := loki.RegisterVariantFamily("custom-ok", custom); err != nil {
+		t.Fatal(err)
+	}
+	got := loki.MustVariantFamily("custom-ok")
+	if len(got) != 2 || got[0].Name != "tiny" {
+		t.Fatalf("registry returned %+v", got)
+	}
+	// The registry hands out copies: mutating the result must not corrupt it.
+	got[0].Accuracy = 0.1
+	if loki.MustVariantFamily("custom-ok")[0].Accuracy != 0.8 {
+		t.Fatal("registry returned a shared slice")
+	}
+
+	// A registered family serves through the builder end to end.
+	pipe, err := loki.NewPipeline("custom").
+		Task("only", loki.MustVariantFamily("custom-ok")...).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := loki.Serve(pipe, loki.RampTrace(50, 150, 8, 2), loki.WithServers(8), loki.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Arrivals == 0 {
+		t.Fatal("custom pipeline served no traffic")
+	}
+}

@@ -1,36 +1,36 @@
 // Command lokiprofile dumps the model-variant profiles the Model Profiler
 // measures (accuracy, batch latency, throughput per batch size) for every
-// family used in the evaluation — the data behind Figure 3.
+// family in the public variant registry — the data behind Figure 3.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
+	"strings"
 
-	"loki/internal/pipeline"
+	"loki"
 	"loki/internal/profiles"
 )
 
 func main() {
-	family := flag.String("family", "all", "family: yolo, efficientnet, vgg, resnet, clip, all")
+	family := flag.String("family", "all",
+		"variant family to dump, or \"all\" (known: "+strings.Join(loki.VariantFamilies(), ", ")+")")
 	flag.Parse()
 
-	fams := map[string][]pipeline.Variant{
-		"yolo":         profiles.YOLOv5(),
-		"efficientnet": profiles.EfficientNet(),
-		"vgg":          profiles.VGG(),
-		"resnet":       profiles.ResNet(),
-		"clip":         profiles.CLIPViT(),
+	names := loki.VariantFamilies()
+	if *family != "all" {
+		names = []string{*family}
 	}
-	order := []string{"yolo", "efficientnet", "vgg", "resnet", "clip"}
 
 	pr := &profiles.Profiler{}
-	for _, name := range order {
-		if *family != "all" && *family != name {
-			continue
+	for _, name := range names {
+		fam, err := loki.VariantFamily(name)
+		if err != nil {
+			log.Fatal(err)
 		}
 		fmt.Printf("==== %s ====\n", name)
-		for _, v := range fams[name] {
+		for _, v := range fam {
 			v := v
 			p := pr.ProfileVariant(&v, profiles.Batches)
 			q, b := p.MaxQPS()

@@ -1,0 +1,122 @@
+// Command lokiserve demonstrates the online System API: it stands up a
+// long-lived serving system, feeds it a workload trace, and prints live
+// snapshots while the system runs, then drains and reports.
+//
+// Example:
+//
+//	lokiserve -pipeline traffic -peak 600 -engine live -timescale 0.25 -monitor 1s
+//
+// With -engine live the monitor goroutine observes the system concurrently
+// with serving (Snapshot is concurrency-safe on the wall-clock engine); with
+// -engine sim the run happens in virtual time and snapshots are printed
+// between lifecycle phases instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"loki"
+)
+
+func main() {
+	pipeName := flag.String("pipeline", "traffic", "pipeline: traffic, chain, social")
+	traceName := flag.String("trace", "azure", "workload: azure, twitter, ramp")
+	peak := flag.Float64("peak", 600, "trace peak (QPS)")
+	steps := flag.Int("steps", 48, "trace steps")
+	stepSec := flag.Float64("step", 5, "seconds per trace step")
+	servers := flag.Int("servers", 20, "cluster size")
+	slo := flag.Duration("slo", 250*time.Millisecond, "end-to-end latency SLO")
+	seed := flag.Int64("seed", 1, "random seed")
+	engName := flag.String("engine", "sim", "serving backend: sim (virtual time), live (wall clock)")
+	timeScale := flag.Float64("timescale", 0.25, "wall-time compression for -engine live")
+	monitor := flag.Duration("monitor", time.Second, "snapshot period for -engine live")
+	flag.Parse()
+
+	var pipe *loki.Pipeline
+	switch *pipeName {
+	case "traffic":
+		pipe = loki.TrafficAnalysisPipeline()
+	case "chain":
+		pipe = loki.TrafficChainPipeline()
+	case "social":
+		pipe = loki.SocialMediaPipeline()
+	default:
+		log.Fatalf("unknown pipeline %q", *pipeName)
+	}
+	var tr *loki.Trace
+	switch *traceName {
+	case "azure":
+		tr = loki.AzureTrace(*seed, *steps, *stepSec, *peak)
+	case "twitter":
+		tr = loki.TwitterTrace(*seed, *steps, *stepSec, *peak)
+	case "ramp":
+		tr = loki.RampTrace(*peak/10, *peak, *steps, *stepSec)
+	default:
+		log.Fatalf("unknown trace %q", *traceName)
+	}
+
+	opts := []loki.Option{
+		loki.WithServers(*servers),
+		loki.WithSLO(*slo),
+		loki.WithSeed(*seed),
+	}
+	live := *engName == "live"
+	switch *engName {
+	case "sim":
+	case "live":
+		opts = append(opts, loki.WithEngine(loki.Wallclock), loki.WithTimeScale(*timeScale))
+	default:
+		log.Fatalf("unknown engine %q", *engName)
+	}
+
+	sys, err := loki.New(pipe, opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving %s on %d servers (engine %s), trace %s peak %.0f qps over %.0fs\n",
+		pipe.Name, *servers, *engName, *traceName, *peak, tr.Duration())
+
+	done := make(chan struct{})
+	if live {
+		go func() {
+			tick := time.NewTicker(*monitor)
+			defer tick.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-tick.C:
+					printSnapshot(sys.Snapshot())
+				}
+			}
+		}()
+	}
+
+	if err := sys.Feed(tr); err != nil {
+		log.Fatal(err)
+	}
+	if live {
+		close(done)
+	} else {
+		printSnapshot(sys.Snapshot())
+	}
+	if err := sys.Stop(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nfinal state:")
+	printSnapshot(sys.Snapshot())
+	if plan := sys.Plan(); plan != nil {
+		fmt.Printf("standing plan: %d servers, expected accuracy %.4f\n",
+			plan.ServersUsed, plan.ExpectedAccuracy)
+	}
+	fmt.Println(sys.Report())
+}
+
+func printSnapshot(s loki.Snapshot) {
+	fmt.Printf("t=%7.1fs  arrivals=%-8d inflight=%-6d completed=%-8d dropped=%-6d rerouted=%-6d servers=%d\n",
+		s.TimeSec, s.Arrivals, s.InFlight, s.Completed, s.Dropped, s.Rerouted, s.ActiveServers)
+}

@@ -26,6 +26,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	approach := flag.String("approach", "loki", "resource manager: loki, inferline, proteus")
 	polName := flag.String("policy", "opportunistic", "drop policy: none, lasttask, pertask, opportunistic")
+	engName := flag.String("engine", "sim", "serving backend: sim (virtual time), live (wall clock)")
+	timeScale := flag.Float64("timescale", 0.5, "wall-time compression for -engine live")
 	series := flag.Bool("series", true, "print the time series")
 	flag.Parse()
 
@@ -79,13 +81,20 @@ func main() {
 	default:
 		log.Fatalf("unknown policy %q", *polName)
 	}
+	switch *engName {
+	case "sim":
+	case "live":
+		opts = append(opts, loki.WithEngine(loki.Wallclock), loki.WithTimeScale(*timeScale))
+	default:
+		log.Fatalf("unknown engine %q", *engName)
+	}
 
 	report, err := loki.Serve(pipe, tr, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%s | %s | peak %.0f qps | %d servers | SLO %v | %s/%s\n",
-		pipe.Name, *traceName, *peak, *servers, *slo, *approach, *polName)
+	fmt.Printf("%s | %s | peak %.0f qps | %d servers | SLO %v | %s/%s | engine %s\n",
+		pipe.Name, *traceName, *peak, *servers, *slo, *approach, *polName, *engName)
 	fmt.Println(report)
 	fmt.Printf("mean latency %v, rerouted %d\n", report.MeanLatency, report.Rerouted)
 	if *series {

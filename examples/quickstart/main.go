@@ -1,5 +1,8 @@
-// Quickstart: serve the traffic-analysis pipeline on a 20-server cluster
-// against a diurnal workload and print the headline metrics.
+// Quickstart for the online API: assemble the traffic-analysis pipeline
+// with the PipelineBuilder and the variant registry, stand up a long-lived
+// System, feed it a diurnal workload, observe it, and drain it. (The other
+// examples use the one-call batch form, loki.Serve, which wraps this exact
+// lifecycle.)
 package main
 
 import (
@@ -11,10 +14,19 @@ import (
 )
 
 func main() {
-	pipe := loki.TrafficAnalysisPipeline()
-	workload := loki.AzureTrace(1, 96, 10, 1100) // one compressed "day", peak 1100 QPS
+	// The same tree as loki.TrafficAnalysisPipeline(), built by hand:
+	// YOLOv5 object detection feeding EfficientNet car classification (70%
+	// of detected objects) and VGG facial recognition (30%).
+	pipe, err := loki.NewPipeline("traffic-analysis").
+		Task("object-detection", loki.MustVariantFamily("yolov5")...).
+		Child("car-classification", 0.70, loki.MustVariantFamily("efficientnet")...).
+		Child("facial-recognition", 0.30, loki.MustVariantFamily("vgg")...).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	report, err := loki.Serve(pipe, workload,
+	sys, err := loki.New(pipe,
 		loki.WithServers(20),
 		loki.WithSLO(250*time.Millisecond),
 		loki.WithSeed(1),
@@ -22,6 +34,27 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// One compressed "day" of diurnal demand, peak 1100 QPS.
+	workload := loki.AzureTrace(1, 96, 10, 1100)
+	if err := sys.Feed(workload); err != nil {
+		log.Fatal(err)
+	}
+
+	// The system is live: inspect the standing allocation and counters.
+	snap := sys.Snapshot()
+	fmt.Printf("after the trace: %d arrivals, %d in flight, %d active servers, %d plan solves\n",
+		snap.Arrivals, snap.InFlight, snap.ActiveServers, snap.Allocates)
+	if plan := sys.Plan(); plan != nil {
+		fmt.Printf("standing plan  : %d servers, expected accuracy %.4f\n",
+			plan.ServersUsed, plan.ExpectedAccuracy)
+	}
+
+	// Drain in-flight requests and report the §6.1 metrics.
+	if err := sys.Stop(); err != nil {
+		log.Fatal(err)
+	}
+	report := sys.Report()
 
 	fmt.Println("pipeline :", pipe.Name)
 	fmt.Println("result   :", report)

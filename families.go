@@ -1,0 +1,83 @@
+package loki
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"loki/internal/profiles"
+)
+
+// The variant-profile registry: named families of model variants
+// (accuracy/latency profiles) that pipelines draw from. The paper's five
+// families — "yolov5", "efficientnet", "vgg", "resnet", "clip-vit" — are
+// pre-registered; RegisterVariantFamily adds custom ones.
+
+var (
+	familyMu sync.RWMutex
+	families = map[string][]Variant{}
+)
+
+func init() {
+	for name, f := range profiles.Families() {
+		families[name] = f
+	}
+}
+
+// RegisterVariantFamily adds a named variant family to the registry. Every
+// variant must carry a well-formed profile (accuracy in (0,1], positive β,
+// non-negative α and multiplicative factor). Re-registering an existing name
+// is an error; the built-in families cannot be replaced.
+func RegisterVariantFamily(name string, variants []Variant) error {
+	if name == "" {
+		return fmt.Errorf("loki: variant family needs a name")
+	}
+	if len(variants) == 0 {
+		return fmt.Errorf("loki: variant family %q is empty", name)
+	}
+	// A single-task graph reuses the pipeline validator for the profiles.
+	probe := &Pipeline{Name: name, Tasks: []Task{{Name: name, Variants: variants}}}
+	if err := probe.Validate(); err != nil {
+		return err
+	}
+	familyMu.Lock()
+	defer familyMu.Unlock()
+	if _, dup := families[name]; dup {
+		return fmt.Errorf("loki: variant family %q already registered", name)
+	}
+	families[name] = append([]Variant(nil), variants...)
+	return nil
+}
+
+// VariantFamily returns a copy of the named family's variants.
+func VariantFamily(name string) ([]Variant, error) {
+	familyMu.RLock()
+	defer familyMu.RUnlock()
+	f, ok := families[name]
+	if !ok {
+		return nil, fmt.Errorf("loki: unknown variant family %q", name)
+	}
+	return append([]Variant(nil), f...), nil
+}
+
+// MustVariantFamily is VariantFamily for literal pipeline definitions; it
+// panics on an unknown name.
+func MustVariantFamily(name string) []Variant {
+	f, err := VariantFamily(name)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// VariantFamilies lists the registered family names, sorted.
+func VariantFamilies() []string {
+	familyMu.RLock()
+	defer familyMu.RUnlock()
+	out := make([]string, 0, len(families))
+	for name := range families {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

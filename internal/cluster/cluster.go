@@ -182,6 +182,12 @@ func (c *Cluster) ActiveServers() int {
 // Inflight returns the number of root requests still in the system.
 func (c *Cluster) Inflight() int { return c.inflight }
 
+// Totals returns the cumulative request counters in one shot (the
+// engine-facing accessor behind engine.Stats).
+func (c *Cluster) Totals() (injected, completed, dropped, rerouted, swaps int64) {
+	return c.TotalInjected, c.TotalCompleted, c.TotalDropped, c.TotalRerouted, c.TotalSwaps
+}
+
 // FlushDemand returns the arrivals since the previous call (the Frontend's
 // per-interval demand report to the Controller).
 func (c *Cluster) FlushDemand() int {

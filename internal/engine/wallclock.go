@@ -1,0 +1,62 @@
+package engine
+
+import (
+	"loki/internal/core"
+	"loki/internal/live"
+	"loki/internal/trace"
+)
+
+// wallclock adapts the real-time goroutine engine (internal/live) to the
+// Engine interface. Unlike the simulator it is safe to Submit and read Stats
+// concurrently with a running Feed.
+type wallclock struct {
+	e *live.Engine
+}
+
+// NewWallclock builds the wall-clock backend. The live engine has no swap
+// or execution-jitter modeling (real scheduling jitter stands in for both),
+// so those Config fields are ignored.
+func NewWallclock(cfg Config) (Engine, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	e, err := live.New(cfg.Meta, cfg.Policy, cfg.Collector, live.Options{
+		Servers:       cfg.Servers,
+		SLOSec:        cfg.SLOSec,
+		NetLatencySec: cfg.NetLatencySec,
+		Seed:          cfg.Seed + 1,
+		TimeScale:     cfg.TimeScale,
+		RMIntervalSec: cfg.RMIntervalSec,
+		LBIntervalSec: cfg.LBIntervalSec,
+		QueueFactor:   cfg.QueueFactor,
+		OnTaskDemand:  cfg.OnTaskDemand,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &wallclock{e: e}, nil
+}
+
+func (w *wallclock) ApplyPlan(plan *core.Plan, routes *core.Routes) { w.e.ApplyPlan(plan, routes) }
+
+func (w *wallclock) Start(ctrl *core.Controller) error { return w.e.Start(ctrl) }
+
+func (w *wallclock) Submit() error { return w.e.Submit() }
+
+func (w *wallclock) Feed(tr *trace.Trace) error { return w.e.Feed(tr) }
+
+func (w *wallclock) Stop() error { return w.e.Stop() }
+
+func (w *wallclock) Stats() Stats {
+	injected, completed, dropped, rerouted := w.e.Totals()
+	return Stats{
+		Injected:  injected,
+		Completed: completed,
+		Dropped:   dropped,
+		Rerouted:  rerouted,
+	}
+}
+
+func (w *wallclock) Now() float64 { return w.e.Now() }
+
+func (w *wallclock) ActiveServers() int { return w.e.ActiveServers() }

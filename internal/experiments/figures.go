@@ -374,6 +374,10 @@ func Figure7(seed int64) ([]Fig7Row, error) {
 			// queues the overflow cap acts as an implicit dropper and
 			// masks the no-early-dropping arm's cost.
 			QueueFactor: 8,
+			// The four arms differ by fractions of a percent; a roomy solve
+			// budget lets every MILP reach its incumbent regardless of
+			// machine load, keeping the comparison deterministic.
+			SolveTimeLimit: 2 * time.Second,
 		})
 		if err != nil {
 			return nil, err

@@ -7,17 +7,15 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
 
 	"loki/internal/baselines"
-	"loki/internal/cluster"
 	"loki/internal/core"
+	"loki/internal/engine"
 	"loki/internal/metrics"
 	"loki/internal/pipeline"
 	"loki/internal/policy"
 	"loki/internal/profiles"
-	"loki/internal/sim"
 	"loki/internal/trace"
 )
 
@@ -45,11 +43,25 @@ func (a Approach) String() string {
 	}
 }
 
+// Backend selects the serving substrate a run executes on. Both backends
+// implement the same engine.Engine interface; the run wiring is identical.
+type Backend = engine.Kind
+
+const (
+	// Simulated runs on the discrete-event simulator in virtual time
+	// (the default, and what every figure experiment uses).
+	Simulated = engine.KindSimulated
+	// Wallclock runs on the real-time goroutine engine (internal/live),
+	// taking TimeScale × trace-duration of wall time.
+	Wallclock = engine.KindWallclock
+)
+
 // RunConfig describes one end-to-end serving run.
 type RunConfig struct {
 	Graph    *pipeline.Graph
 	Trace    *trace.Trace
 	Approach Approach
+	Backend  Backend
 	Policy   policy.Policy // nil means opportunistic rerouting (Loki default)
 
 	Servers        int
@@ -66,6 +78,7 @@ type RunConfig struct {
 	MinAccuracy    float64 // floor on end-to-end path accuracy (0 = none)
 	SolveTimeLimit time.Duration
 	ProfileJitter  float64 // measurement noise in the Model Profiler
+	TimeScale      float64 // wall-time compression (Wallclock backend only)
 }
 
 func (cfg *RunConfig) defaults() {
@@ -78,20 +91,14 @@ func (cfg *RunConfig) defaults() {
 	if cfg.NetLatencySec == 0 {
 		cfg.NetLatencySec = 0.002
 	}
-	if cfg.RMIntervalSec == 0 {
-		cfg.RMIntervalSec = 10
-	}
-	if cfg.LBIntervalSec == 0 {
-		cfg.LBIntervalSec = 1
-	}
+	// RMIntervalSec, LBIntervalSec, and Policy default inside
+	// engine.Config.defaults — the one authoritative site for the
+	// engine-level knobs.
 	if cfg.BucketSec == 0 {
 		cfg.BucketSec = 30
 	}
 	if cfg.SolveTimeLimit == 0 {
 		cfg.SolveTimeLimit = 500 * time.Millisecond
-	}
-	if cfg.Policy == nil {
-		cfg.Policy = policy.Opportunistic{}
 	}
 	if cfg.Headroom == 0 {
 		// Provisioning 30% above the demand estimate keeps per-worker
@@ -146,7 +153,39 @@ func (t *timedPlanner) Allocate(d float64) (*core.Plan, error) {
 	return p, err
 }
 
-// Run executes one serving run in virtual time.
+// NewPlanner builds the Resource Manager planner for an approach: Loki's
+// MILP allocator or one of the baselines. The returned Proteus pointer is
+// non-nil only for the Proteus approach, whose planner additionally needs
+// per-task demand observations (wire it to the engine's OnTaskDemand hook).
+func NewPlanner(ap Approach, meta *core.MetadataStore, aopts core.AllocatorOptions) (core.Planner, *baselines.Proteus, error) {
+	switch ap {
+	case Loki:
+		a, err := core.NewAllocator(meta, aopts)
+		if err != nil {
+			return nil, nil, err
+		}
+		return a, nil, nil
+	case InferLine:
+		b, err := baselines.NewInferLine(meta, aopts)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &inferLinePlanner{b}, nil, nil
+	case Proteus:
+		p, err := baselines.NewProteus(meta, aopts)
+		if err != nil {
+			return nil, nil, err
+		}
+		return p, p, nil
+	default:
+		return nil, nil, fmt.Errorf("experiments: unknown approach %d", ap)
+	}
+}
+
+// Run executes one serving run on the configured backend — the
+// discrete-event simulator in virtual time by default, or the wall-clock
+// prototype. The wiring is backend-agnostic: both substrates sit behind the
+// shared engine.Engine interface.
 func Run(cfg RunConfig) (*RunResult, error) {
 	cfg.defaults()
 	if err := cfg.Graph.Validate(); err != nil {
@@ -165,50 +204,37 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		MinPathAccuracy: cfg.MinAccuracy,
 		SolveTimeLimit:  cfg.SolveTimeLimit,
 	}
-
-	var planner core.Planner
-	var proteus *baselines.Proteus
-	switch cfg.Approach {
-	case Loki:
-		a, err := core.NewAllocator(meta, aopts)
-		if err != nil {
-			return nil, err
-		}
-		planner = a
-	case InferLine:
-		b, err := baselines.NewInferLine(meta, aopts)
-		if err != nil {
-			return nil, err
-		}
-		planner = &inferLinePlanner{b}
-	case Proteus:
-		p, err := baselines.NewProteus(meta, aopts)
-		if err != nil {
-			return nil, err
-		}
-		proteus = p
-		planner = p
-	default:
-		return nil, fmt.Errorf("experiments: unknown approach %d", cfg.Approach)
+	planner, proteus, err := NewPlanner(cfg.Approach, meta, aopts)
+	if err != nil {
+		return nil, err
 	}
 	timed := &timedPlanner{inner: planner}
 
-	eng := &sim.Engine{}
 	col := metrics.NewCollector(cfg.BucketSec, cfg.Servers)
-	cl, err := cluster.New(eng, meta, cfg.Policy, col, cluster.Options{
+	ecfg := engine.Config{
+		Meta:           meta,
+		Policy:         cfg.Policy,
+		Collector:      col,
 		Servers:        cfg.Servers,
 		SLOSec:         cfg.SLOSec,
 		NetLatencySec:  cfg.NetLatencySec,
-		Seed:           cfg.Seed + 1,
+		Seed:           cfg.Seed,
 		SwapLatencySec: cfg.SwapLatencySec,
 		ExecJitter:     cfg.ExecJitter,
 		QueueFactor:    cfg.QueueFactor,
-	})
+		RMIntervalSec:  cfg.RMIntervalSec,
+		LBIntervalSec:  cfg.LBIntervalSec,
+		TimeScale:      cfg.TimeScale,
+	}
+	if proteus != nil {
+		ecfg.OnTaskDemand = proteus.ObserveTaskDemand
+	}
+	eng, err := engine.New(cfg.Backend, ecfg)
 	if err != nil {
 		return nil, err
 	}
 
-	ctrl := core.NewController(meta, timed, cl.ApplyPlan)
+	ctrl := core.NewController(meta, timed, eng.ApplyPlan)
 	ctrl.RouteHeadroom = cfg.Headroom
 
 	// Pre-warm: allocate for the trace's opening demand before traffic.
@@ -217,84 +243,30 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		return nil, err
 	}
 
-	duration := cfg.Trace.Duration()
-
-	// Arrivals: lazily chained Poisson events keep the event heap small.
-	arrivals := cfg.Trace.Arrivals(rand.New(rand.NewSource(cfg.Seed + 2)))
-	var scheduleArrival func(i int)
-	scheduleArrival = func(i int) {
-		if i >= len(arrivals) {
-			return
-		}
-		eng.At(arrivals[i], func() {
-			cl.InjectRequest()
-			scheduleArrival(i + 1)
-		})
+	if err := eng.Start(ctrl); err != nil {
+		return nil, err
 	}
-	scheduleArrival(0)
-
-	// Per-second housekeeping: demand reports, heartbeats, reactive
-	// reallocation, demand sampling.
-	var stepErr error
-	var secTick func()
-	secTick = func() {
-		now := eng.Now()
-		count := cl.FlushDemand()
-		meta.ObserveDemand(float64(count))
-		if proteus != nil {
-			for task, n := range cl.FlushTaskArrivals() {
-				proteus.ObserveTaskDemand(pipeline.TaskID(task), float64(n))
-			}
-		}
-		col.SampleDemand(now, cfg.Trace.RateAt(now))
-		cl.Heartbeat()
-		if err := ctrl.Step(false); err != nil && stepErr == nil {
-			stepErr = err
-		}
-		if now+1 <= duration {
-			eng.After(1, secTick)
-		}
+	feedErr := eng.Feed(cfg.Trace)
+	stopErr := eng.Stop()
+	if feedErr != nil {
+		return nil, feedErr
 	}
-	eng.After(1, secTick)
-
-	var lbTick func()
-	lbTick = func() {
-		ctrl.Rebalance()
-		if eng.Now()+cfg.LBIntervalSec <= duration {
-			eng.After(cfg.LBIntervalSec, lbTick)
-		}
-	}
-	eng.After(cfg.LBIntervalSec, lbTick)
-
-	var rmTick func()
-	rmTick = func() {
-		if err := ctrl.Step(true); err != nil && stepErr == nil {
-			stepErr = err
-		}
-		if eng.Now()+cfg.RMIntervalSec <= duration {
-			eng.After(cfg.RMIntervalSec, rmTick)
-		}
-	}
-	eng.After(cfg.RMIntervalSec, rmTick)
-
-	// Run the trace, then drain in-flight requests.
-	eng.Run(duration)
-	eng.RunAll()
-	if stepErr != nil {
-		return nil, stepErr
+	if stopErr != nil {
+		return nil, stopErr
 	}
 
+	st := eng.Stats()
 	res := &RunResult{
 		Name:           fmt.Sprintf("%s/%s", cfg.Graph.Name, cfg.Approach),
 		Approach:       cfg.Approach,
 		Summary:        col.Summarize(),
 		Series:         col.Series(),
 		Allocates:      ctrl.Allocates(),
-		Injected:       cl.TotalInjected,
-		Completed:      cl.TotalCompleted,
-		Dropped:        cl.TotalDropped,
-		Rerouted:       cl.TotalRerouted,
-		Swaps:          cl.TotalSwaps,
+		Injected:       st.Injected,
+		Completed:      st.Completed,
+		Dropped:        st.Dropped,
+		Rerouted:       st.Rerouted,
+		Swaps:          st.Swaps,
 		SolveWall:      timed.total,
 		SolveWallCount: timed.n,
 	}

@@ -6,10 +6,7 @@ import (
 	"strings"
 	"time"
 
-	"loki/internal/core"
-	"loki/internal/live"
 	"loki/internal/metrics"
-	"loki/internal/policy"
 	"loki/internal/profiles"
 	"loki/internal/trace"
 )
@@ -68,46 +65,27 @@ func Validate(cfg ValidateConfig) (*ValidationResult, error) {
 
 	start := time.Now()
 
-	// Simulator run.
+	// The two runs differ only in the backend behind the shared
+	// engine.Engine interface; every other knob is identical.
 	simRes, err := Run(RunConfig{
-		Graph: g, Trace: tr, Approach: Loki,
+		Graph: g, Trace: tr, Approach: Loki, Backend: Simulated,
 		Servers: cfg.Servers, SLOSec: cfg.SLOSec, Seed: cfg.Seed,
 	})
 	if err != nil {
 		return nil, err
 	}
-
-	// Live run: fresh metadata, allocator, controller — identical settings.
-	prof := (&profiles.Profiler{Seed: cfg.Seed}).ProfileGraph(g, profiles.Batches)
-	meta := core.NewMetadataStore(g, prof, cfg.SLOSec, profiles.Batches)
-	alloc, err := core.NewAllocator(meta, core.AllocatorOptions{
-		Servers: cfg.Servers, NetLatencySec: 0.002, KeepWarm: true,
-		Headroom: 0.30, SolveTimeLimit: 500 * time.Millisecond,
+	liveRes, err := Run(RunConfig{
+		Graph: g, Trace: tr, Approach: Loki, Backend: Wallclock,
+		Servers: cfg.Servers, SLOSec: cfg.SLOSec, Seed: cfg.Seed,
+		TimeScale: cfg.TimeScale,
 	})
 	if err != nil {
-		return nil, err
-	}
-	col := metrics.NewCollector(30, cfg.Servers)
-	eng, err := live.New(meta, policy.Opportunistic{}, col, live.Options{
-		Servers: cfg.Servers, SLOSec: cfg.SLOSec, NetLatencySec: 0.002,
-		Seed: cfg.Seed + 1, TimeScale: cfg.TimeScale,
-	})
-	if err != nil {
-		return nil, err
-	}
-	ctrl := core.NewController(meta, alloc, eng.ApplyPlan)
-	ctrl.RouteHeadroom = 0.30
-	meta.ObserveDemand(tr.QPS[0])
-	if err := ctrl.Step(true); err != nil {
-		return nil, err
-	}
-	if err := eng.Serve(tr, ctrl); err != nil {
 		return nil, err
 	}
 
 	res := &ValidationResult{
 		Sim:      simRes.Summary,
-		Live:     col.Summarize(),
+		Live:     liveRes.Summary,
 		WallTime: time.Since(start),
 	}
 	res.AccuracyDeltaPct = 100 * math.Abs(res.Sim.MeanAccuracy-res.Live.MeanAccuracy)

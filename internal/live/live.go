@@ -38,6 +38,10 @@ type Options struct {
 	RMIntervalSec float64
 	LBIntervalSec float64
 	QueueFactor   float64
+
+	// OnTaskDemand, when non-nil, receives per-task arrival counts every
+	// housekeeping second (the Proteus-like baseline's per-task history).
+	OnTaskDemand func(task pipeline.TaskID, count float64)
 }
 
 // Engine is the live serving system.
@@ -48,17 +52,30 @@ type Engine struct {
 	opts Options
 	g    *pipeline.Graph
 
-	mu         sync.Mutex
-	rng        *rand.Rand
-	routes     *core.Routes
-	logical    map[core.WorkerID]*worker
-	workers    []*worker
-	backupLeft map[core.WorkerID]float64
-	minTail    []float64
-	arrivals   int
-	inflight   sync.WaitGroup
-	start      time.Time
-	stopped    bool
+	mu           sync.Mutex
+	rng          *rand.Rand
+	routes       *core.Routes
+	logical      map[core.WorkerID]*worker
+	workers      []*worker
+	backupLeft   map[core.WorkerID]float64
+	minTail      []float64
+	arrivals     int
+	taskArrivals []int
+	inflight     sync.WaitGroup
+	start        time.Time
+	started      bool
+	stopped      bool
+
+	// Lifecycle state between Start and Stop.
+	ctrl      *core.Controller
+	arrRng    *rand.Rand
+	done      chan struct{}
+	workersWG sync.WaitGroup
+	hkWG      sync.WaitGroup
+	injectors sync.WaitGroup // in-progress Feed/Submit calls
+	curTrace  *trace.Trace
+	traceBase float64
+	stepErr   error
 
 	TotalInjected  int64
 	TotalCompleted int64
@@ -125,6 +142,7 @@ func New(meta *core.MetadataStore, pol policy.Policy, col *metrics.Collector, op
 		w.cond = sync.NewCond(&e.mu)
 		e.workers = append(e.workers, w)
 	}
+	e.taskArrivals = make([]int, len(meta.Graph().Tasks))
 	prof := meta.Profiles()
 	e.minTail = make([]float64, len(e.g.Tasks))
 	var tail func(t pipeline.TaskID) float64
@@ -252,114 +270,233 @@ func (e *Engine) ActiveServers() int {
 	return n
 }
 
-// Serve drives the engine over a workload trace, blocking until the trace
-// finishes and in-flight requests drain. The controller is stepped on its
-// periodic intervals exactly as in the simulator.
-func (e *Engine) Serve(tr *trace.Trace, ctrl *core.Controller) error {
-	e.start = time.Now()
+// Start launches the worker goroutines and the housekeeping loop
+// (per-second demand reports, heartbeats, reactive and periodic controller
+// steps). The engine then accepts Submit and Feed until Stop.
+func (e *Engine) Start(ctrl *core.Controller) error {
 	e.mu.Lock()
+	if e.started {
+		e.mu.Unlock()
+		return fmt.Errorf("live: engine already started")
+	}
+	e.started = true
 	e.stopped = false
+	e.ctrl = ctrl
+	e.arrRng = rand.New(rand.NewSource(e.opts.Seed + 2))
+	e.stepErr = nil
+	e.curTrace = nil
+	e.start = time.Now()
+	e.done = make(chan struct{})
 	e.mu.Unlock()
 
-	// Worker goroutines.
-	var wg sync.WaitGroup
 	for _, w := range e.workers {
-		wg.Add(1)
+		e.workersWG.Add(1)
 		go func(w *worker) {
-			defer wg.Done()
+			defer e.workersWG.Done()
 			e.workerLoop(w)
 		}(w)
 	}
+	e.hkWG.Add(1)
+	go e.housekeeping()
+	return nil
+}
 
-	// Housekeeping goroutine: per-second demand reports, heartbeats,
-	// reactive and periodic controller steps.
-	done := make(chan struct{})
-	var hkWG sync.WaitGroup
-	hkWG.Add(1)
-	go func() {
-		defer hkWG.Done()
-		tick := time.NewTicker(time.Duration(e.opts.TimeScale * float64(time.Second)))
-		defer tick.Stop()
-		lastRM := 0.0
-		lastLB := 0.0
-		for {
-			select {
-			case <-done:
-				return
-			case <-tick.C:
-			}
-			now := e.now()
-			e.mu.Lock()
-			count := e.arrivals
-			e.arrivals = 0
-			for _, w := range e.workers {
-				if w.spec == nil || w.hbIn == 0 {
-					continue
-				}
-				sumRatio := 0.0
-				for _, ch := range e.g.Tasks[w.spec.Task].Children {
-					sumRatio += ch.BranchRatio
-				}
-				if sumRatio > 0 {
-					e.meta.ReportMultFactor(w.spec.Task, w.spec.Variant,
-						float64(w.hbOut)/(float64(w.hbIn)*sumRatio))
-				}
-				w.hbIn, w.hbOut = 0, 0
-			}
-			active := 0
-			for _, w := range e.workers {
-				if w.spec != nil {
-					active++
-				}
-			}
-			e.mu.Unlock()
-
-			e.meta.ObserveDemand(float64(count))
-			e.colLocked(func(c *metrics.Collector) {
-				c.SampleDemand(now, tr.RateAt(now))
-				c.SampleServers(now, active)
-			})
-			_ = ctrl.Step(false)
-			if now-lastLB >= e.opts.LBIntervalSec {
-				ctrl.Rebalance()
-				lastLB = now
-			}
-			if now-lastRM >= e.opts.RMIntervalSec {
-				_ = ctrl.Step(true)
-				lastRM = now
+// housekeeping ticks once per scaled second until Stop.
+func (e *Engine) housekeeping() {
+	defer e.hkWG.Done()
+	tick := time.NewTicker(time.Duration(e.opts.TimeScale * float64(time.Second)))
+	defer tick.Stop()
+	lastRM := 0.0
+	lastLB := 0.0
+	for {
+		select {
+		case <-e.done:
+			return
+		case <-tick.C:
+		}
+		now := e.now()
+		e.mu.Lock()
+		count := e.arrivals
+		e.arrivals = 0
+		var taskCounts []int
+		if e.opts.OnTaskDemand != nil {
+			taskCounts = append([]int(nil), e.taskArrivals...)
+			for i := range e.taskArrivals {
+				e.taskArrivals[i] = 0
 			}
 		}
-	}()
+		for _, w := range e.workers {
+			if w.spec == nil || w.hbIn == 0 {
+				continue
+			}
+			sumRatio := 0.0
+			for _, ch := range e.g.Tasks[w.spec.Task].Children {
+				sumRatio += ch.BranchRatio
+			}
+			if sumRatio > 0 {
+				e.meta.ReportMultFactor(w.spec.Task, w.spec.Variant,
+					float64(w.hbOut)/(float64(w.hbIn)*sumRatio))
+			}
+			w.hbIn, w.hbOut = 0, 0
+		}
+		active := 0
+		for _, w := range e.workers {
+			if w.spec != nil {
+				active++
+			}
+		}
+		tr := e.curTrace
+		base := e.traceBase
+		ctrl := e.ctrl
+		e.mu.Unlock()
 
-	// Arrival loop (open-loop Poisson from the trace).
-	arrRng := rand.New(rand.NewSource(e.opts.Seed + 2))
+		e.meta.ObserveDemand(float64(count))
+		for task, n := range taskCounts {
+			e.opts.OnTaskDemand(pipeline.TaskID(task), float64(n))
+		}
+		e.colLocked(func(c *metrics.Collector) {
+			if tr != nil {
+				c.SampleDemand(now, tr.RateAt(now-base))
+			}
+			c.SampleServers(now, active)
+		})
+		if err := ctrl.Step(false); err != nil {
+			e.recordErr(err)
+		}
+		if now-lastLB >= e.opts.LBIntervalSec {
+			ctrl.Rebalance()
+			lastLB = now
+		}
+		if now-lastRM >= e.opts.RMIntervalSec {
+			if err := ctrl.Step(true); err != nil {
+				e.recordErr(err)
+			}
+			lastRM = now
+		}
+	}
+}
+
+func (e *Engine) recordErr(err error) {
+	e.mu.Lock()
+	if e.stepErr == nil {
+		e.stepErr = err
+	}
+	e.mu.Unlock()
+}
+
+// Submit admits one request at the current wall-clock instant.
+func (e *Engine) Submit() error {
+	e.mu.Lock()
+	if !e.started || e.stopped {
+		e.mu.Unlock()
+		return fmt.Errorf("live: engine not running")
+	}
+	e.injectors.Add(1)
+	e.mu.Unlock()
+	defer e.injectors.Done()
+	e.inject()
+	return nil
+}
+
+// Feed plays the trace's open-loop Poisson arrival process in (scaled) wall
+// time, blocking until the last arrival has been injected.
+func (e *Engine) Feed(tr *trace.Trace) error {
+	e.mu.Lock()
+	if !e.started || e.stopped {
+		e.mu.Unlock()
+		return fmt.Errorf("live: engine not running")
+	}
+	base := time.Since(e.start).Seconds() / e.opts.TimeScale
+	e.curTrace = tr
+	e.traceBase = base
+	arrRng := e.arrRng
+	e.injectors.Add(1)
+	e.mu.Unlock()
+	defer e.injectors.Done()
+
 	for _, at := range tr.Arrivals(arrRng) {
-		e.sleepScaled(at - e.now())
+		// A concurrent Stop aborts the remaining arrivals at the next
+		// inter-arrival boundary.
+		e.mu.Lock()
+		running := e.started
+		e.mu.Unlock()
+		if !running {
+			break
+		}
+		e.sleepScaled(base + at - e.now())
 		e.inject()
 	}
-	// Drain.
+	return nil
+}
+
+// Stop waits for in-flight requests to drain, then shuts down the
+// housekeeping loop and the worker goroutines. Idempotent; returns the first
+// controller-step error observed while running, if any.
+func (e *Engine) Stop() error {
+	e.mu.Lock()
+	if !e.started {
+		err := e.stepErr
+		e.mu.Unlock()
+		return err
+	}
+	e.started = false
+	e.mu.Unlock()
+
+	// New injections are refused above; wait out the in-progress ones so no
+	// inflight.Add can race the Wait below.
+	e.injectors.Wait()
 	e.inflight.Wait()
-	close(done)
-	hkWG.Wait()
+	close(e.done)
+	e.hkWG.Wait()
 
 	e.mu.Lock()
 	e.stopped = true
 	for _, w := range e.workers {
 		w.cond.Broadcast()
 	}
+	err := e.stepErr
 	e.mu.Unlock()
-	wg.Wait()
-	return nil
+	e.workersWG.Wait()
+	return err
 }
 
-var colMu sync.Mutex
+// Serve drives the engine over a workload trace, blocking until the trace
+// finishes and in-flight requests drain. The controller is stepped on its
+// periodic intervals exactly as in the simulator. It is Start → Feed → Stop.
+func (e *Engine) Serve(tr *trace.Trace, ctrl *core.Controller) error {
+	if err := e.Start(ctrl); err != nil {
+		return err
+	}
+	if err := e.Feed(tr); err != nil {
+		e.Stop()
+		return err
+	}
+	return e.Stop()
+}
 
+// Now returns the scaled seconds since Start (0 before the first Start).
+func (e *Engine) Now() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.start.IsZero() {
+		return 0
+	}
+	return time.Since(e.start).Seconds() / e.opts.TimeScale
+}
+
+// Totals returns the cumulative request counters under the engine lock.
+func (e *Engine) Totals() (injected, completed, dropped, rerouted int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.TotalInjected, e.TotalCompleted, e.TotalDropped, e.TotalRerouted
+}
+
+// colLocked guards against a nil collector; the Collector itself is
+// internally synchronized.
 func (e *Engine) colLocked(f func(*metrics.Collector)) {
 	if e.col == nil {
 		return
 	}
-	colMu.Lock()
-	defer colMu.Unlock()
 	f(e.col)
 }
 
@@ -402,6 +539,7 @@ func (e *Engine) deliver(sub *subreq, target core.WorkerID) {
 	}
 	sub.enqueued = e.now()
 	w.queue = append(w.queue, sub)
+	e.taskArrivals[sub.task]++
 	w.cond.Signal()
 	e.mu.Unlock()
 }

@@ -9,14 +9,17 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 )
 
 // Collector aggregates request outcomes into fixed-width time buckets.
-// It is not safe for concurrent use; the live engine wraps it in a mutex.
+// All methods are safe for concurrent use, so live readers (System.Report
+// on the wall-clock engine) may summarize while workers record.
 type Collector struct {
 	BucketSec float64
 	Servers   int // cluster size, for utilization
 
+	mu      sync.Mutex
 	buckets []bucket
 }
 
@@ -52,12 +55,18 @@ func (c *Collector) at(t float64) *bucket {
 }
 
 // Arrival records a request entering the system at time t.
-func (c *Collector) Arrival(t float64) { c.at(t).arrivals++ }
+func (c *Collector) Arrival(t float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.at(t).arrivals++
+}
 
 // Completed records a request answered at time t. late marks completion past
 // its deadline; latency is the end-to-end response time; accuracy is the
 // mean end-to-end accuracy of its answers.
 func (c *Collector) Completed(t float64, late bool, latency, accuracy float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	b := c.at(t)
 	if late {
 		b.late++
@@ -75,10 +84,16 @@ func (c *Collector) Completed(t float64, late bool, latency, accuracy float64) {
 }
 
 // Dropped records a request dropped (fully or partially) at time t.
-func (c *Collector) Dropped(t float64) { c.at(t).dropped++ }
+func (c *Collector) Dropped(t float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.at(t).dropped++
+}
 
 // SampleDemand records the instantaneous offered demand at time t.
 func (c *Collector) SampleDemand(t, qps float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	b := c.at(t)
 	b.demandSum += qps
 	b.demandN++
@@ -86,6 +101,8 @@ func (c *Collector) SampleDemand(t, qps float64) {
 
 // SampleServers records the number of active servers at time t.
 func (c *Collector) SampleServers(t float64, servers int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	b := c.at(t)
 	b.serversSum += float64(servers)
 	b.serversN++
@@ -104,6 +121,8 @@ type Point struct {
 
 // Series returns per-bucket points.
 func (c *Collector) Series() []Point {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make([]Point, len(c.buckets))
 	for i, b := range c.buckets {
 		p := Point{TimeSec: float64(i) * c.BucketSec}
@@ -147,6 +166,8 @@ type Summary struct {
 
 // Summarize aggregates the whole run.
 func (c *Collector) Summarize() Summary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var s Summary
 	accSum := 0.0
 	accN := 0

@@ -117,6 +117,18 @@ func TotalVariants() int {
 	return len(YOLOv5()) + len(EfficientNet()) + len(VGG()) + len(ResNet()) + len(CLIPViT())
 }
 
+// Families returns the built-in variant families keyed by registry name.
+// Each call returns fresh slices, so callers may mutate them freely.
+func Families() map[string][]pipeline.Variant {
+	return map[string][]pipeline.Variant{
+		"yolov5":       YOLOv5(),
+		"efficientnet": EfficientNet(),
+		"vgg":          VGG(),
+		"resnet":       ResNet(),
+		"clip-vit":     CLIPViT(),
+	}
+}
+
 // TrafficChain returns the two-task pipeline of Figure 1 and §1's
 // walkthrough: object detection followed by car classification. The branch
 // ratio 0.70 is the fraction of detected objects that are cars.

@@ -12,19 +12,37 @@
 // workers first and rescues stragglers by opportunistically rerouting them
 // to faster workers with leftover capacity.
 //
-// Quick start:
+// The primary API is the long-lived System: build a pipeline (canned or via
+// the PipelineBuilder), stand the system up, and inject requests online —
+// either one at a time (Submit) or as a whole workload trace (Feed):
 //
-//	report, err := loki.Serve(loki.TrafficAnalysisPipeline(),
-//	    loki.AzureTrace(1, 96, 10, 1100),
+//	sys, err := loki.New(loki.TrafficAnalysisPipeline(),
 //	    loki.WithServers(20),
 //	    loki.WithSLO(250*time.Millisecond))
 //	if err != nil { ... }
-//	fmt.Println(report)
+//	if err := sys.Feed(loki.AzureTrace(1, 96, 10, 1100)); err != nil { ... }
+//	if err := sys.Stop(); err != nil { ... }
+//	fmt.Println(sys.Report())
 //
-// The lower-level building blocks (allocation plans, routing tables, the
-// discrete-event cluster, the wall-clock engine) are exposed through the
-// Plan and Routes types and the cmd/ tools; the experiments regenerating
-// every figure of the paper live behind the Experiment functions.
+// While running, Snapshot, Plan, and Routes observe the live system state.
+// WithEngine selects the serving backend: the discrete-event simulator
+// (default, virtual time) or the wall-clock engine with real goroutine
+// workers. Serve remains as the one-call batch form — it is exactly
+// New → Feed → Stop → Report.
+//
+// Custom pipelines are assembled with NewPipeline:
+//
+//	pipe, err := loki.NewPipeline("traffic-analysis").
+//	    Task("object-detection", loki.MustVariantFamily("yolov5")...).
+//	    Child("car-classification", 0.70, loki.MustVariantFamily("efficientnet")...).
+//	    Child("facial-recognition", 0.30, loki.MustVariantFamily("vgg")...).
+//	    Build()
+//
+// with variant accuracy/latency profiles drawn from the registry
+// (RegisterVariantFamily adds custom families). The lower-level building
+// blocks (allocation plans, routing tables) are exposed through the Plan and
+// Routes types and the cmd/ tools; the experiments regenerating every figure
+// of the paper live in internal/experiments behind cmd/lokiexp.
 package loki
 
 import (
@@ -32,7 +50,6 @@ import (
 	"time"
 
 	"loki/internal/core"
-	"loki/internal/experiments"
 	"loki/internal/metrics"
 	"loki/internal/pipeline"
 	"loki/internal/policy"
@@ -135,6 +152,17 @@ type config struct {
 	solveLimit time.Duration
 	jitter     float64
 	minAcc     float64
+	engine     EngineKind
+	timeScale  float64
+}
+
+// headroomOrDefault returns the configured over-provisioning factor, falling
+// back to the paper's 0.30 default.
+func (c config) headroomOrDefault() float64 {
+	if c.headroom == 0 {
+		return 0.30
+	}
+	return c.headroom
 }
 
 // WithServers sets the cluster size (default 20, the paper's testbed).
@@ -214,6 +242,7 @@ func buildConfig(opts []Option) config {
 		slo:        250 * time.Millisecond,
 		netLatency: 2 * time.Millisecond,
 		pol:        OpportunisticPolicy,
+		solveLimit: 500 * time.Millisecond,
 	}
 	for _, o := range opts {
 		o(&c)
@@ -221,71 +250,56 @@ func buildConfig(opts []Option) config {
 	return c
 }
 
-// Serve runs the pipeline against the workload on a simulated cluster and
-// reports the §6.1 metrics. It is deterministic for a fixed seed.
+// Serve runs the pipeline against the workload and reports the §6.1
+// metrics. It is the batch form of the System API — exactly
+// New → Feed → Stop → Report — and is deterministic for a fixed seed on the
+// default simulated engine.
 func Serve(p *Pipeline, tr *Trace, opts ...Option) (*Report, error) {
-	c := buildConfig(opts)
-	ap := experiments.Loki
-	switch c.baseline {
-	case BaselineInferLine:
-		ap = experiments.InferLine
-	case BaselineProteus:
-		ap = experiments.Proteus
-	}
-	res, err := experiments.Run(experiments.RunConfig{
-		Graph:          p,
-		Trace:          tr,
-		Approach:       ap,
-		Policy:         c.pol,
-		Servers:        c.servers,
-		SLOSec:         c.slo.Seconds(),
-		NetLatencySec:  c.netLatency.Seconds(),
-		Seed:           c.seed,
-		SwapLatencySec: c.swap.Seconds(),
-		Headroom:       c.headroom,
-		MinAccuracy:    c.minAcc,
-		SolveTimeLimit: c.solveLimit,
-		ExecJitter:     c.jitter,
-	})
+	sys, err := New(p, opts...)
 	if err != nil {
 		return nil, err
 	}
-	s := res.Summary
-	return &Report{
-		Accuracy:          s.MeanAccuracy,
-		SLOViolationRatio: s.ViolationRatio,
-		MeanServers:       s.MeanServers,
-		MinServers:        s.MinServers,
-		MaxServers:        s.MaxServers,
-		MeanLatency:       time.Duration(s.MeanLatency * float64(time.Second)),
-		Arrivals:          int64(s.Arrivals),
-		Completed:         int64(s.Completed),
-		Late:              int64(s.Late),
-		Dropped:           int64(s.Dropped),
-		Rerouted:          res.Rerouted,
-		Series:            res.Series,
-	}, nil
+	if err := sys.Feed(tr); err != nil {
+		sys.Stop()
+		return nil, err
+	}
+	if err := sys.Stop(); err != nil {
+		return nil, err
+	}
+	return sys.Report(), nil
+}
+
+// metaAndOpts builds the Model Profiler → Metadata Store stage shared by
+// every entry point, plus the allocator options derived from the config.
+func metaAndOpts(p *Pipeline, c config) (*core.MetadataStore, core.AllocatorOptions) {
+	prof := (&profiles.Profiler{Seed: c.seed}).ProfileGraph(p, profiles.Batches)
+	meta := core.NewMetadataStore(p, prof, c.slo.Seconds(), profiles.Batches)
+	return meta, core.AllocatorOptions{
+		Servers:         c.servers,
+		NetLatencySec:   c.netLatency.Seconds(),
+		KeepWarm:        true,
+		Headroom:        c.headroomOrDefault(),
+		MinPathAccuracy: c.minAcc,
+		SolveTimeLimit:  c.solveLimit,
+	}
+}
+
+// newAllocStack builds the full MetadataStore + MILP Allocator stack used by
+// the capacity-planning entry points.
+func newAllocStack(p *Pipeline, c config) (*core.MetadataStore, *core.Allocator, error) {
+	meta, aopts := metaAndOpts(p, c)
+	alloc, err := core.NewAllocator(meta, aopts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return meta, alloc, nil
 }
 
 // PlanFor runs the Resource Manager once for a demand level, returning the
 // optimal allocation plan (useful for capacity planning without a full
 // serving run).
 func PlanFor(p *Pipeline, demandQPS float64, opts ...Option) (*Plan, error) {
-	c := buildConfig(opts)
-	prof := (&profiles.Profiler{Seed: c.seed}).ProfileGraph(p, profiles.Batches)
-	meta := core.NewMetadataStore(p, prof, c.slo.Seconds(), profiles.Batches)
-	headroom := c.headroom
-	if headroom == 0 {
-		headroom = 0.30
-	}
-	alloc, err := core.NewAllocator(meta, core.AllocatorOptions{
-		Servers:         c.servers,
-		NetLatencySec:   c.netLatency.Seconds(),
-		KeepWarm:        true,
-		Headroom:        headroom,
-		MinPathAccuracy: c.minAcc,
-		SolveTimeLimit:  c.solveLimit,
-	})
+	_, alloc, err := newAllocStack(p, buildConfig(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -295,21 +309,7 @@ func PlanFor(p *Pipeline, demandQPS float64, opts ...Option) (*Plan, error) {
 // MaxCapacity estimates the largest demand (QPS) the cluster can fully serve
 // with accuracy scaling enabled.
 func MaxCapacity(p *Pipeline, opts ...Option) (float64, error) {
-	c := buildConfig(opts)
-	prof := (&profiles.Profiler{Seed: c.seed}).ProfileGraph(p, profiles.Batches)
-	meta := core.NewMetadataStore(p, prof, c.slo.Seconds(), profiles.Batches)
-	headroom := c.headroom
-	if headroom == 0 {
-		headroom = 0.30
-	}
-	alloc, err := core.NewAllocator(meta, core.AllocatorOptions{
-		Servers:         c.servers,
-		NetLatencySec:   c.netLatency.Seconds(),
-		KeepWarm:        true,
-		Headroom:        headroom,
-		MinPathAccuracy: c.minAcc,
-		SolveTimeLimit:  c.solveLimit,
-	})
+	_, alloc, err := newAllocStack(p, buildConfig(opts))
 	if err != nil {
 		return 0, err
 	}

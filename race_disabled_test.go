@@ -1,0 +1,5 @@
+//go:build !race
+
+package loki_test
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package loki_test
+
+// raceEnabled reports whether the race detector is instrumenting this build.
+// Its ~10x slowdown breaks the wall-clock engine's timing assumptions, so
+// real-time parity tests skip themselves under -race.
+const raceEnabled = true

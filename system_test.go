@@ -1,0 +1,237 @@
+package loki_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"loki"
+)
+
+// The acceptance check: Serve is a thin wrapper over the System lifecycle,
+// so for a fixed seed the two produce the same Report.
+func TestServeEqualsSystemLifecycle(t *testing.T) {
+	pipe := loki.TrafficAnalysisPipeline()
+	tr := loki.AzureTrace(1, 16, 5, 500)
+	opts := []loki.Option{loki.WithServers(20), loki.WithSeed(11)}
+
+	batch, err := loki.Serve(pipe, tr, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sys, err := loki.New(pipe, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Feed(tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	online := sys.Report()
+
+	if !reflect.DeepEqual(batch, online) {
+		t.Fatalf("reports differ:\nServe:  %v\nSystem: %v", batch, online)
+	}
+}
+
+func TestSubmitOnline(t *testing.T) {
+	sys, err := loki.New(loki.TrafficChainPipeline(), loki.WithServers(10), loki.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := sys.Submit(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	snap := sys.Snapshot()
+	if snap.Arrivals != n {
+		t.Fatalf("arrivals = %d, want %d", snap.Arrivals, n)
+	}
+	if snap.Completed+snap.Dropped != n || snap.InFlight != 0 {
+		t.Fatalf("conservation after drain: %+v", snap)
+	}
+	if snap.Completed == 0 {
+		t.Fatal("no submitted request completed — first-Submit priming failed")
+	}
+}
+
+func TestSubmitAndFeedAfterStop(t *testing.T) {
+	sys, err := loki.New(loki.TrafficChainPipeline(), loki.WithServers(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Stop(); err != nil {
+		t.Fatalf("Stop must be idempotent, got %v", err)
+	}
+	if err := sys.Submit(context.Background()); !errors.Is(err, loki.ErrStopped) {
+		t.Fatalf("Submit after Stop = %v, want ErrStopped", err)
+	}
+	if err := sys.Feed(loki.RampTrace(10, 20, 4, 1)); !errors.Is(err, loki.ErrStopped) {
+		t.Fatalf("Feed after Stop = %v, want ErrStopped", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sys2, err := loki.New(loki.TrafficChainPipeline(), loki.WithServers(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Stop()
+	if err := sys2.Submit(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Submit with cancelled context = %v", err)
+	}
+}
+
+func TestObservationHooks(t *testing.T) {
+	sys, err := loki.New(loki.TrafficAnalysisPipeline(), loki.WithServers(20), loki.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Plan() != nil || sys.Routes() != nil {
+		t.Fatal("plan/routes must be nil before the first allocation")
+	}
+	if err := sys.Feed(loki.AzureTrace(5, 8, 5, 400)); err != nil {
+		t.Fatal(err)
+	}
+	plan := sys.Plan()
+	routes := sys.Routes()
+	if plan == nil || routes == nil {
+		t.Fatal("plan/routes must be live after Feed")
+	}
+	if plan.ServersUsed <= 0 {
+		t.Fatalf("plan uses %d servers", plan.ServersUsed)
+	}
+	snap := sys.Snapshot()
+	if snap.Arrivals == 0 || snap.TimeSec <= 0 || snap.Allocates == 0 {
+		t.Fatalf("snapshot not live: %+v", snap)
+	}
+	if snap.ActiveServers <= 0 {
+		t.Fatalf("no active servers: %+v", snap)
+	}
+	if err := sys.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Plan() == nil {
+		t.Fatal("plan must survive Stop")
+	}
+}
+
+func TestFeedBackToBack(t *testing.T) {
+	sys, err := loki.New(loki.TrafficChainPipeline(), loki.WithServers(10), loki.WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Feed(loki.RampTrace(50, 100, 6, 2)); err != nil {
+		t.Fatal(err)
+	}
+	mid := sys.Snapshot().Arrivals
+	if mid == 0 {
+		t.Fatal("first trace injected nothing")
+	}
+	if err := sys.Feed(loki.RampTrace(100, 50, 6, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	snap := sys.Snapshot()
+	if snap.Arrivals <= mid {
+		t.Fatalf("second Feed added nothing: %d → %d", mid, snap.Arrivals)
+	}
+	if snap.Completed+snap.Dropped != snap.Arrivals {
+		t.Fatalf("conservation across feeds: %+v", snap)
+	}
+}
+
+// Sim-vs-wallclock parity through the shared Engine interface: the same
+// workload served by both backends of a System must land on comparable
+// metrics (the §6.2 validation property, at unit-test scale).
+func TestSimWallclockParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time run (~6s wall)")
+	}
+	if raceEnabled {
+		t.Skip("race-detector slowdown breaks wall-clock timing bounds")
+	}
+	pipe := loki.TrafficAnalysisPipeline()
+	tr := loki.AzureTrace(4, 12, 2, 300)
+
+	run := func(kind loki.EngineKind) *loki.Report {
+		t.Helper()
+		sys, err := loki.New(pipe,
+			loki.WithServers(20), loki.WithSeed(4),
+			loki.WithEngine(kind), loki.WithTimeScale(0.25))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Feed(tr); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.Stop(); err != nil {
+			t.Fatal(err)
+		}
+		return sys.Report()
+	}
+
+	sim := run(loki.Simulated)
+	live := run(loki.Wallclock)
+
+	if sim.Arrivals == 0 || live.Arrivals == 0 {
+		t.Fatalf("no traffic: sim %d, live %d", sim.Arrivals, live.Arrivals)
+	}
+	if d := math.Abs(sim.Accuracy - live.Accuracy); d > 0.10 {
+		t.Fatalf("accuracy delta %.3f (sim %.3f, live %.3f)", d, sim.Accuracy, live.Accuracy)
+	}
+	if d := math.Abs(sim.SLOViolationRatio - live.SLOViolationRatio); d > 0.20 {
+		t.Fatalf("violation delta %.3f (sim %.3f, live %.3f)",
+			d, sim.SLOViolationRatio, live.SLOViolationRatio)
+	}
+}
+
+func TestWallclockSubmitDuringRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time run")
+	}
+	sys, err := loki.New(loki.TrafficChainPipeline(),
+		loki.WithServers(10), loki.WithSeed(6),
+		loki.WithEngine(loki.Wallclock), loki.WithTimeScale(0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 20; i++ {
+		if err := sys.Submit(ctx); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Snapshot is concurrency-safe on the wallclock engine.
+	if snap := sys.Snapshot(); snap.Arrivals == 0 {
+		t.Fatalf("no arrivals recorded: %+v", snap)
+	}
+	if err := sys.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	snap := sys.Snapshot()
+	if snap.Arrivals != 20 || snap.Completed+snap.Dropped != 20 {
+		t.Fatalf("lifecycle counters: %+v", snap)
+	}
+	if snap.Completed == 0 {
+		t.Fatal("no request completed on the wallclock engine")
+	}
+}
