@@ -219,3 +219,28 @@ func BenchmarkClusterEventThroughput(b *testing.B) {
 	}
 	b.ReportMetric(total/b.Elapsed().Seconds(), "sim_requests/s")
 }
+
+// BenchmarkMultiTenantContention runs the shared-pool contention experiment
+// per iteration (two pipelines, one pool, a mid-run spike) and reports each
+// tenant's SLO attainment plus the partition movement. The recorded baseline
+// lives in BENCH_multitenant.json.
+func BenchmarkMultiTenantContention(b *testing.B) {
+	var last *experiments.MultiTenantResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.MultiTenant(experiments.MultiTenantConfig{
+			Servers: 20, Seed: 11, TraceSteps: 24, StepSec: 5,
+			PeakA: 350, PeakB: 250, SpikeMult: 3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	a, s := last.Tenants[0], last.Tenants[1]
+	b.ReportMetric(a.Summary.ViolationRatio, "traffic_viol")
+	b.ReportMetric(s.Summary.ViolationRatio, "social_viol")
+	b.ReportMetric(a.Summary.MeanAccuracy, "traffic_acc")
+	b.ReportMetric(s.Summary.MeanAccuracy, "social_acc")
+	b.ReportMetric(float64(a.MaxGrant-a.MinGrant), "traffic_grant_swing")
+	b.ReportMetric(float64(last.Allocates), "milp_solves")
+}

@@ -18,6 +18,9 @@ import (
 // Construction errors (duplicate names, unknown parents, empty variant
 // families) accumulate and surface from Build, so calls chain without
 // intermediate checks. A builder is single-use: Build hands over its graph.
+// The built pipeline works everywhere a canned one does — Serve, New, or a
+// MultiSystem's AddPipeline (each registration profiles it independently,
+// so one pipeline value may back several tenants).
 type PipelineBuilder struct {
 	g      *Pipeline
 	index  map[string]TaskID

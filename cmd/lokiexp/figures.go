@@ -85,3 +85,19 @@ func runtime(servers int, sloSec float64) error {
 	fmt.Println(experiments.FormatRuntime(r))
 	return nil
 }
+
+func multitenant(seed int64, servers int, sloSec float64, quick bool) error {
+	steps := 48
+	if quick {
+		steps = 24
+	}
+	r, err := experiments.MultiTenant(experiments.MultiTenantConfig{
+		Servers: servers, SLOSec: sloSec, Seed: seed,
+		TraceSteps: steps, StepSec: 10,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatMultiTenant(r))
+	return nil
+}

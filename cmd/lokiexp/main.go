@@ -10,6 +10,7 @@
 //	lokiexp -fig 6          # social-media end-to-end comparison (Figure 6)
 //	lokiexp -fig 7          # early-dropping ablation (Figure 7)
 //	lokiexp -fig 8          # SLO sensitivity (Figure 8)
+//	lokiexp -fig multitenant # shared-pool contention across two pipelines
 //	lokiexp -fig validate   # simulator-vs-prototype validation (§6.2)
 //	lokiexp -fig runtime    # Resource Manager / Load Balancer overhead (§6.5)
 //	lokiexp -fig all        # everything
@@ -23,7 +24,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1, 3, 5, 6, 7, 8, validate, runtime, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 3, 5, 6, 7, 8, multitenant, validate, runtime, all")
 	seed := flag.Int64("seed", 11, "random seed")
 	servers := flag.Int("servers", 20, "cluster size")
 	sloMs := flag.Float64("slo", 250, "latency SLO in milliseconds")
@@ -67,6 +68,11 @@ func main() {
 	if all || *fig == "8" {
 		run("Figure 8: SLO sensitivity", func() error {
 			return figure8(*seed)
+		})
+	}
+	if all || *fig == "multitenant" {
+		run("Multi-tenant: shared-pool contention", func() error {
+			return multitenant(*seed, *servers, *sloMs/1000, *quick)
 		})
 	}
 	if all || *fig == "validate" {

@@ -2,9 +2,14 @@
 // long-lived serving system, feeds it a workload trace, and prints live
 // snapshots while the system runs, then drains and reports.
 //
-// Example:
+// Single-pipeline example:
 //
 //	lokiserve -pipeline traffic -peak 600 -engine live -timescale 0.25 -monitor 1s
+//
+// Multi-tenant example — comma-separated lists, one entry per pipeline,
+// served concurrently on one shared pool with per-pipeline reports:
+//
+//	lokiserve -pipeline traffic,social -trace azure,twitter -peak 500,300 -share 0.4,0.3
 //
 // With -engine live the monitor goroutine observes the system concurrently
 // with serving (Snapshot is concurrency-safe on the wall-clock engine); with
@@ -16,18 +21,22 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"loki"
 )
 
 func main() {
-	pipeName := flag.String("pipeline", "traffic", "pipeline: traffic, chain, social")
-	traceName := flag.String("trace", "azure", "workload: azure, twitter, ramp")
-	peak := flag.Float64("peak", 600, "trace peak (QPS)")
+	pipeNames := flag.String("pipeline", "traffic", "pipeline(s): traffic, chain, social (comma-separated for multi-tenant)")
+	traceNames := flag.String("trace", "azure", "workload(s): azure, twitter, ramp (comma-separated, one per pipeline)")
+	peaks := flag.String("peak", "600", "trace peak(s) in QPS (comma-separated, one per pipeline)")
+	shares := flag.String("share", "", "guaranteed pool share(s) under contention (comma-separated, blank = equal split)")
 	steps := flag.Int("steps", 48, "trace steps")
 	stepSec := flag.Float64("step", 5, "seconds per trace step")
-	servers := flag.Int("servers", 20, "cluster size")
+	servers := flag.Int("servers", 20, "shared pool size")
 	slo := flag.Duration("slo", 250*time.Millisecond, "end-to-end latency SLO")
 	seed := flag.Int64("seed", 1, "random seed")
 	engName := flag.String("engine", "sim", "serving backend: sim (virtual time), live (wall clock)")
@@ -35,28 +44,9 @@ func main() {
 	monitor := flag.Duration("monitor", time.Second, "snapshot period for -engine live")
 	flag.Parse()
 
-	var pipe *loki.Pipeline
-	switch *pipeName {
-	case "traffic":
-		pipe = loki.TrafficAnalysisPipeline()
-	case "chain":
-		pipe = loki.TrafficChainPipeline()
-	case "social":
-		pipe = loki.SocialMediaPipeline()
-	default:
-		log.Fatalf("unknown pipeline %q", *pipeName)
-	}
-	var tr *loki.Trace
-	switch *traceName {
-	case "azure":
-		tr = loki.AzureTrace(*seed, *steps, *stepSec, *peak)
-	case "twitter":
-		tr = loki.TwitterTrace(*seed, *steps, *stepSec, *peak)
-	case "ramp":
-		tr = loki.RampTrace(*peak/10, *peak, *steps, *stepSec)
-	default:
-		log.Fatalf("unknown trace %q", *traceName)
-	}
+	names := strings.Split(*pipeNames, ",")
+	trs := strings.Split(*traceNames, ",")
+	pks := strings.Split(*peaks, ",")
 
 	opts := []loki.Option{
 		loki.WithServers(*servers),
@@ -72,12 +62,42 @@ func main() {
 		log.Fatalf("unknown engine %q", *engName)
 	}
 
-	sys, err := loki.New(pipe, opts...)
+	sys, err := loki.NewMulti(opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("serving %s on %d servers (engine %s), trace %s peak %.0f qps over %.0fs\n",
-		pipe.Name, *servers, *engName, *traceName, *peak, tr.Duration())
+	traces := map[string]*loki.Trace{}
+	for i, name := range names {
+		name = strings.TrimSpace(name)
+		peak := pick(pks, i, "600")
+		peakQPS, err := strconv.ParseFloat(peak, 64)
+		if err != nil {
+			log.Fatalf("bad peak %q: %v", peak, err)
+		}
+		// Shares are fractions of one shared pool, so unlike -peak they never
+		// fan out: a pipeline without its own entry stays unreserved (equal
+		// split of the unreserved fraction).
+		var popts []loki.PipelineOption
+		shareList := strings.Split(*shares, ",")
+		if i < len(shareList) {
+			if s := strings.TrimSpace(shareList[i]); s != "" {
+				f, err := strconv.ParseFloat(s, 64)
+				if err != nil {
+					log.Fatalf("bad share %q: %v", s, err)
+				}
+				popts = append(popts, loki.WithShare(f))
+			}
+		}
+		if err := sys.AddPipeline(name, pipelineFor(name), popts...); err != nil {
+			log.Fatal(err)
+		}
+		tr := traceFor(pick(trs, i, "azure"), *seed+int64(i), *steps, *stepSec, peakQPS)
+		traces[name] = tr
+		fmt.Printf("pipeline %-8s trace %-8s peak %6.0f qps over %.0fs\n",
+			name, pick(trs, i, "azure"), peakQPS, tr.Duration())
+	}
+	fmt.Printf("serving %d pipeline(s) on a shared pool of %d servers (engine %s)\n\n",
+		len(names), *servers, *engName)
 
 	done := make(chan struct{})
 	if live {
@@ -89,34 +109,107 @@ func main() {
 				case <-done:
 					return
 				case <-tick.C:
-					printSnapshot(sys.Snapshot())
+					printSnapshots(sys)
 				}
 			}
 		}()
 	}
 
-	if err := sys.Feed(tr); err != nil {
+	if err := sys.FeedAll(traces); err != nil {
 		log.Fatal(err)
 	}
 	if live {
 		close(done)
 	} else {
-		printSnapshot(sys.Snapshot())
+		printSnapshots(sys)
 	}
 	if err := sys.Stop(); err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("\nfinal state:")
-	printSnapshot(sys.Snapshot())
-	if plan := sys.Plan(); plan != nil {
-		fmt.Printf("standing plan: %d servers, expected accuracy %.4f\n",
-			plan.ServersUsed, plan.ExpectedAccuracy)
+	printSnapshots(sys)
+	for _, name := range sortedKeys(traces) {
+		if plan, err := sys.Plan(name); err == nil && plan != nil {
+			fmt.Printf("standing plan [%s]: %d servers, expected accuracy %.4f\n",
+				name, plan.ServersUsed, plan.ExpectedAccuracy)
+		}
 	}
-	fmt.Println(sys.Report())
+	fmt.Println()
+	reports := sys.Reports()
+	for _, name := range sortedKeys(reports) {
+		fmt.Println(reports[name])
+	}
+	if len(reports) > 1 {
+		fmt.Println(sys.AggregateReport())
+	}
 }
 
-func printSnapshot(s loki.Snapshot) {
-	fmt.Printf("t=%7.1fs  arrivals=%-8d inflight=%-6d completed=%-8d dropped=%-6d rerouted=%-6d servers=%d\n",
-		s.TimeSec, s.Arrivals, s.InFlight, s.Completed, s.Dropped, s.Rerouted, s.ActiveServers)
+// pick returns list[i] trimmed. When the list is shorter than the pipeline
+// count, the last supplied value fans out to the remaining pipelines (so
+// `-peak 500` drives every pipeline at 500); an explicitly blank entry
+// (`-share 0.6,`) means the default, not the neighbour's value.
+func pick(list []string, i int, def string) string {
+	if i < len(list) {
+		if v := strings.TrimSpace(list[i]); v != "" {
+			return v
+		}
+		return def
+	}
+	for j := len(list) - 1; j >= 0; j-- {
+		if v := strings.TrimSpace(list[j]); v != "" {
+			return v
+		}
+	}
+	return def
+}
+
+func pipelineFor(name string) *loki.Pipeline {
+	switch name {
+	case "traffic":
+		return loki.TrafficAnalysisPipeline()
+	case "chain":
+		return loki.TrafficChainPipeline()
+	case "social":
+		return loki.SocialMediaPipeline()
+	default:
+		log.Fatalf("unknown pipeline %q", name)
+		return nil
+	}
+}
+
+func traceFor(name string, seed int64, steps int, stepSec, peak float64) *loki.Trace {
+	switch name {
+	case "azure":
+		return loki.AzureTrace(seed, steps, stepSec, peak)
+	case "twitter":
+		return loki.TwitterTrace(seed, steps, stepSec, peak)
+	case "ramp":
+		return loki.RampTrace(peak/10, peak, steps, stepSec)
+	default:
+		log.Fatalf("unknown trace %q", name)
+		return nil
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func printSnapshots(sys *loki.MultiSystem) {
+	grants := sys.Grants()
+	for _, name := range sortedKeys(grants) {
+		s, err := sys.Snapshot(name)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("t=%7.1fs  [%-8s] arrivals=%-8d inflight=%-6d completed=%-8d dropped=%-6d rerouted=%-6d servers=%d/%d\n",
+			s.TimeSec, name, s.Arrivals, s.InFlight, s.Completed, s.Dropped, s.Rerouted,
+			s.ActiveServers, s.GrantedServers)
+	}
 }

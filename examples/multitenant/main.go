@@ -1,0 +1,63 @@
+// The multi-tenant quickstart: two pipelines share one 24-server pool. The
+// traffic-analysis pipeline carries a flash-crowd spike mid-run; the joint
+// Resource Manager re-partitions the pool on each adaptation round so the
+// spike steals the social pipeline's idle servers, while the WithShare
+// guarantees bound how far either tenant can be squeezed under contention.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"loki"
+)
+
+func main() {
+	sys, err := loki.NewMulti(
+		loki.WithServers(24),
+		loki.WithSLO(250*time.Millisecond),
+		loki.WithSeed(1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Each pipeline gets its own SLO, drop policy, and contention guarantee;
+	// unset knobs inherit the system-wide options above.
+	if err := sys.AddPipeline("traffic", loki.TrafficAnalysisPipeline(),
+		loki.WithShare(0.5)); err != nil {
+		log.Fatal(err)
+	}
+	if err := sys.AddPipeline("social", loki.SocialMediaPipeline(),
+		loki.WithShare(0.3),
+		loki.WithPipelineSLO(300*time.Millisecond)); err != nil {
+		log.Fatal(err)
+	}
+
+	// Serve both traces concurrently on the shared pool. WithSpike triples
+	// the traffic pipeline's demand over the middle fifth of the run.
+	traffic := loki.AzureTrace(1, 48, 5, 400).WithSpike(0.4, 0.2, 3)
+	social := loki.TwitterTrace(2, 48, 5, 250)
+	if err := sys.FeedAll(map[string]*loki.Trace{
+		"traffic": traffic,
+		"social":  social,
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	grants := sys.Grants()
+	if err := sys.Stop(); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, name := range sys.Pipelines() {
+		report, err := sys.Report(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(report)
+		fmt.Printf("  final grant: %d of 24 servers\n", grants[name])
+	}
+	fmt.Println(sys.AggregateReport())
+}

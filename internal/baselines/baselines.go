@@ -58,6 +58,19 @@ func (b *InferLine) Allocate(demand float64) (*core.Plan, error) {
 	return plan, nil
 }
 
+// AllocateCapped is Allocate with the cluster size temporarily bounded to
+// servers, so an InferLine-managed pipeline can live inside a multi-tenant
+// partition (core.CappedPlanner).
+func (b *InferLine) AllocateCapped(demand float64, servers int) (*core.Plan, error) {
+	if servers <= 0 {
+		return nil, fmt.Errorf("baselines: capped allocation needs a positive server budget, got %d", servers)
+	}
+	if warm := len(b.Meta.Graph().Tasks); servers < warm {
+		return nil, fmt.Errorf("baselines: capped allocation of %d servers cannot hold one replica of each of %d tasks", servers, warm)
+	}
+	return b.alloc.Capped(servers).AllocateHardwareOnly(demand)
+}
+
 // Proteus performs per-task accuracy scaling without pipeline awareness
 // (§6.1 baseline 2).
 type Proteus struct {

@@ -317,6 +317,31 @@ func (a *Allocator) Allocate(demand float64) (*Plan, error) {
 	return plan, nil
 }
 
+// Capped returns a view of the allocator whose cluster size is bounded to
+// servers. The configuration graph and paths are shared (they depend only on
+// the SLO, not the cluster size), so the view is cheap and the solves it
+// runs are independent of the parent's. Multi-tenant arbitration uses it to
+// re-solve a pipeline inside its granted partition of the shared pool.
+func (a *Allocator) Capped(servers int) *Allocator {
+	b := *a
+	b.Opts.Servers = servers
+	return &b
+}
+
+// AllocateCapped is Allocate with the cluster size temporarily bounded to
+// servers (the CappedPlanner hook for multi-tenant arbitration). The budget
+// must cover one replica per task — below that no plan can serve the
+// pipeline at all, and the saturation fallbacks would overshoot the cap.
+func (a *Allocator) AllocateCapped(demand float64, servers int) (*Plan, error) {
+	if servers <= 0 {
+		return nil, fmt.Errorf("core: capped allocation needs a positive server budget, got %d", servers)
+	}
+	if warm := len(a.Meta.Graph().Tasks); servers < warm {
+		return nil, fmt.Errorf("core: capped allocation of %d servers cannot hold one replica of each of %d tasks", servers, warm)
+	}
+	return a.Capped(servers).Allocate(demand)
+}
+
 // greedyPlan builds a throughput-first fallback: every task gets its
 // fastest latency-feasible configuration, servers are split proportionally
 // to per-task load, and the served fraction is whatever the bottleneck
@@ -353,9 +378,31 @@ func (a *Allocator) greedyPlan(demand float64) *Plan {
 	}
 	plan := &Plan{Mode: Saturated, Demand: demand, ServedFraction: 1}
 	served := math.Inf(1)
+	counts := make([]int, len(g.Tasks))
+	total := 0
 	for i := range g.Tasks {
 		share := (load[i] / a.cfgs[best[i]].qps) / weight
-		n := int(math.Max(1, math.Floor(share*float64(a.Opts.Servers))))
+		counts[i] = int(math.Max(1, math.Floor(share*float64(a.Opts.Servers))))
+		total += counts[i]
+	}
+	// Rounding the small shares up to one replica can overshoot the budget;
+	// shed replicas from the largest tasks so capped (multi-tenant) plans
+	// never exceed their partition.
+	for total > a.Opts.Servers {
+		biggest := -1
+		for i, n := range counts {
+			if n > 1 && (biggest < 0 || n > counts[biggest]) {
+				biggest = i
+			}
+		}
+		if biggest < 0 {
+			break
+		}
+		counts[biggest]--
+		total--
+	}
+	for i := range g.Tasks {
+		n := counts[i]
 		c := &a.cfgs[best[i]]
 		plan.Assignments = append(plan.Assignments, Assignment{
 			Task: c.task, Variant: c.variant, MaxBatch: c.batch, Replicas: n,

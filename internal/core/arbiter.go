@@ -1,0 +1,438 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Control is the engine-facing controller surface: the serving backends
+// drive whichever controller they are given through this interface, so the
+// single-pipeline Controller and the multi-tenant MultiController are
+// interchangeable behind an engine's housekeeping loop.
+type Control interface {
+	// Step runs one Resource Manager invocation; force skips the
+	// change-threshold check (used on the periodic interval).
+	Step(force bool) error
+	// Rebalance refreshes routing tables against the standing plan(s)
+	// without re-solving any MILP.
+	Rebalance()
+}
+
+var (
+	_ Control = (*Controller)(nil)
+	_ Control = (*MultiController)(nil)
+)
+
+// CappedPlanner is a Planner that can additionally solve under a temporary
+// server budget smaller than its configured cluster size. The
+// MultiController requires it for every tenant when more than one pipeline
+// shares the pool, because contention is resolved by re-solving each
+// pipeline's allocation inside its granted partition.
+type CappedPlanner interface {
+	Planner
+	// AllocateCapped is Allocate with the cluster size bounded to servers
+	// for this solve only.
+	AllocateCapped(demand float64, servers int) (*Plan, error)
+}
+
+// Tenant is one pipeline registered with a MultiController: its own
+// Metadata Store (demand estimate, profiles, SLO), its own planner, and the
+// share of the shared pool it is guaranteed under contention. Publish
+// delivers the tenant's plan and routing tables to the serving engine.
+type Tenant struct {
+	Name string
+	Meta *MetadataStore
+	// Alloc produces this tenant's allocation plans. With more than one
+	// tenant it must implement CappedPlanner.
+	Alloc Planner
+	// MinShare is the fraction of the pool this tenant is guaranteed when
+	// combined demand exceeds the pool. Zero means "unreserved": the
+	// unreserved tenants split whatever fraction the explicit shares leave
+	// over, equally. Shares only bind under contention — an idle tenant's
+	// unneeded guarantee is lent to whoever wants it.
+	MinShare float64
+	// RouteHeadroom inflates the demand handed to MostAccurateFirst, as in
+	// Controller.RouteHeadroom.
+	RouteHeadroom float64
+	// Publish delivers a new plan and routing tables to the serving engine.
+	Publish func(plan *Plan, routes *Routes)
+
+	// floorServers is the resolved per-tenant guarantee in whole servers,
+	// never below one replica slot per task.
+	floorServers int
+
+	cache     map[tenantPlanKey]*Plan
+	plan      *Plan
+	routes    *Routes
+	planDmd   float64
+	grant     int
+	allocates int
+}
+
+// tenantPlanKey caches plans per (quantized demand, server cap) pair: the
+// same demand under a different grant is a different MILP.
+type tenantPlanKey struct {
+	bucket int
+	cap    int
+}
+
+// uncappedServers marks a solve at the planner's own full cluster size (the
+// single-pipeline code path and the joint desire pass).
+const uncappedServers = -1
+
+// solve runs the tenant's planner through its plan cache. cap ==
+// uncappedServers uses the planner's own Allocate; a non-negative cap
+// requires the CappedPlanner solve. Callers hold their controller's lock.
+func (t *Tenant) solve(demand float64, cap int) (*Plan, error) {
+	if t.cache == nil {
+		t.cache = map[tenantPlanKey]*Plan{}
+	}
+	key := tenantPlanKey{bucket: demandBucket(demand), cap: cap}
+	if plan, ok := t.cache[key]; ok {
+		return plan, nil
+	}
+	var plan *Plan
+	var err error
+	if cap == uncappedServers {
+		plan, err = t.Alloc.Allocate(demand)
+	} else {
+		plan, err = t.Alloc.(CappedPlanner).AllocateCapped(demand, cap)
+	}
+	if err != nil {
+		return nil, err
+	}
+	t.cache[key] = plan
+	t.allocates++
+	return plan, nil
+}
+
+// moved reports whether demand deviates from the standing plan's demand by
+// at least thr (relative, with a 1-QPS floor on the base).
+func (t *Tenant) moved(demand, thr float64) bool {
+	base := math.Max(t.planDmd, 1)
+	return math.Abs(demand-t.planDmd)/base >= thr
+}
+
+// MultiController is the multi-tenant Resource Manager: it arbitrates one
+// shared server pool across several pipelines. Each adaptation round runs a
+// capacity-splitting outer loop around per-tenant MILP solves:
+//
+//  1. Desire pass — every tenant solves unconstrained (cap = whole pool) for
+//     its own demand estimate; the plan's server count is what the tenant
+//     "wants".
+//  2. If the wants fit the pool, everyone gets their unconstrained plan —
+//     this is the common case, and it is what lets a traffic spike in one
+//     pipeline steal servers another pipeline is not using.
+//  3. Otherwise the pool is contended: every tenant is granted
+//     min(want, floor) where floor is its guaranteed share, the leftover is
+//     split across still-hungry tenants proportionally to unmet want
+//     (largest-remainder rounding), and each constrained tenant re-solves
+//     inside its grant — degrading to accuracy scaling or saturation within
+//     its partition rather than starving a neighbour.
+//
+// The sum of grants never exceeds the pool, so the per-tenant engines'
+// active workers always fit the shared cluster.
+type MultiController struct {
+	// ReallocateThreshold is the relative demand change (in any tenant)
+	// that triggers re-allocation before the periodic interval elapses.
+	// Zero means 0.2.
+	ReallocateThreshold float64
+
+	// OnGrants, when non-nil, observes every joint allocation: the step
+	// counter and the per-tenant server grants, in registration order. It
+	// is called with the controller lock held and must not call back in.
+	OnGrants func(step int, grants []int)
+
+	mu      sync.Mutex
+	pool    int
+	tenants []*Tenant
+	steps   int
+}
+
+// NewMultiController validates the tenant set against the pool and wires
+// the arbiter. It fails when the pool cannot hold one replica per task of
+// every tenant simultaneously (the joint keep-warm minimum), when explicit
+// MinShares oversubscribe the pool, or when several tenants share the pool
+// but one of their planners cannot solve under a server cap.
+func NewMultiController(pool int, tenants []*Tenant) (*MultiController, error) {
+	if pool <= 0 {
+		return nil, fmt.Errorf("core: multi-tenant pool needs a positive server count, got %d", pool)
+	}
+	if len(tenants) == 0 {
+		return nil, fmt.Errorf("core: no tenants registered")
+	}
+	reserved := 0.0
+	unreserved := 0
+	for _, t := range tenants {
+		if t.MinShare < 0 || t.MinShare > 1 {
+			return nil, fmt.Errorf("core: tenant %q MinShare %.3f outside [0,1]", t.Name, t.MinShare)
+		}
+		if t.MinShare == 0 {
+			unreserved++
+		}
+		reserved += t.MinShare
+		if len(tenants) > 1 {
+			if _, ok := t.Alloc.(CappedPlanner); !ok {
+				return nil, fmt.Errorf("core: tenant %q planner cannot solve under a server cap; multi-tenant arbitration requires a CappedPlanner", t.Name)
+			}
+		}
+	}
+	if reserved > 1+1e-9 {
+		return nil, fmt.Errorf("core: MinShares sum to %.3f > 1", reserved)
+	}
+	implicit := 0.0
+	if unreserved > 0 {
+		implicit = (1 - reserved) / float64(unreserved)
+	}
+	minTotal := 0
+	floorTotal := 0
+	for _, t := range tenants {
+		share := t.MinShare
+		if share == 0 {
+			share = implicit
+		}
+		floor := int(math.Floor(share * float64(pool)))
+		if warm := len(t.Meta.Graph().Tasks); floor < warm {
+			floor = warm
+		}
+		t.floorServers = floor
+		t.cache = map[tenantPlanKey]*Plan{}
+		minTotal += len(t.Meta.Graph().Tasks)
+		floorTotal += floor
+	}
+	if minTotal > pool {
+		return nil, fmt.Errorf("core: pool of %d servers cannot keep %d tenant tasks warm (one replica each)", pool, minTotal)
+	}
+	// Floors are raised to each tenant's keep-warm task count, which can
+	// push their sum past the pool even when the raw shares fit; splitPool
+	// grants up to every floor under contention, so an oversubscribed floor
+	// set would break the Σ grants ≤ pool invariant.
+	if floorTotal > pool {
+		return nil, fmt.Errorf("core: contention floors need %d servers (shares plus keep-warm minimums) but the pool holds %d", floorTotal, pool)
+	}
+	return &MultiController{pool: pool, tenants: tenants}, nil
+}
+
+// Pool returns the shared pool size.
+func (m *MultiController) Pool() int { return m.pool }
+
+// Tenants returns the number of registered tenants.
+func (m *MultiController) Tenants() int { return len(m.tenants) }
+
+// Step runs one joint Resource Manager invocation across all tenants:
+// estimate each tenant's demand, rerun the capacity-splitting outer loop if
+// forced or any tenant's demand moved past the threshold, and publish every
+// tenant's plan and routing tables.
+func (m *MultiController) Step(force bool) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.steps++
+
+	demands := make([]float64, len(m.tenants))
+	for i, t := range m.tenants {
+		demands[i] = t.Meta.DemandEstimate()
+	}
+
+	thr := m.ReallocateThreshold
+	if thr == 0 {
+		thr = 0.2
+	}
+	if !force {
+		moved := false
+		for i, t := range m.tenants {
+			if t.plan == nil || t.moved(demands[i], thr) {
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			return nil
+		}
+	}
+
+	if err := m.allocateLocked(demands); err != nil {
+		return err
+	}
+	for i, t := range m.tenants {
+		t.planDmd = demands[i]
+		t.publish(demands[i])
+	}
+	return nil
+}
+
+// allocateLocked is the capacity-splitting outer loop.
+func (m *MultiController) allocateLocked(demands []float64) error {
+	// Desire pass: unconstrained solves at the planner's full cluster size
+	// (= the pool).
+	wants := make([]int, len(m.tenants))
+	plans := make([]*Plan, len(m.tenants))
+	total := 0
+	for i, t := range m.tenants {
+		plan, err := t.solve(demands[i], uncappedServers)
+		if err != nil {
+			return fmt.Errorf("core: tenant %q allocation: %w", t.Name, err)
+		}
+		plans[i] = plan
+		wants[i] = plan.ServersUsed
+		total += plan.ServersUsed
+	}
+
+	grants := append([]int(nil), wants...)
+	if total > m.pool {
+		grants = splitPool(m.pool, wants, m.tenants)
+		for i, t := range m.tenants {
+			if grants[i] >= wants[i] {
+				continue
+			}
+			plan, err := t.solve(demands[i], grants[i])
+			if err != nil {
+				return fmt.Errorf("core: tenant %q capped allocation (%d servers): %w", t.Name, grants[i], err)
+			}
+			plans[i] = plan
+		}
+	}
+	for i, t := range m.tenants {
+		t.plan = plans[i]
+		t.grant = grants[i]
+	}
+	if m.OnGrants != nil {
+		m.OnGrants(m.steps, append([]int(nil), grants...))
+	}
+	return nil
+}
+
+// splitPool grants each tenant min(want, floor), then splits the leftover
+// across still-hungry tenants proportionally to unmet want, with
+// largest-remainder rounding (ties broken by registration order, for
+// determinism).
+func splitPool(pool int, wants []int, tenants []*Tenant) []int {
+	grants := make([]int, len(wants))
+	left := pool
+	unmetSum := 0
+	for i, t := range tenants {
+		g := wants[i]
+		if g > t.floorServers {
+			g = t.floorServers
+		}
+		grants[i] = g
+		left -= g
+		unmetSum += wants[i] - g
+	}
+	if left <= 0 || unmetSum == 0 {
+		return grants
+	}
+	type frac struct {
+		idx int
+		rem float64
+	}
+	fracs := make([]frac, 0, len(wants))
+	used := 0
+	for i := range tenants {
+		unmet := wants[i] - grants[i]
+		if unmet <= 0 {
+			continue
+		}
+		quota := float64(left) * float64(unmet) / float64(unmetSum)
+		whole := int(math.Floor(quota))
+		if whole > unmet {
+			whole = unmet
+		}
+		grants[i] += whole
+		used += whole
+		fracs = append(fracs, frac{idx: i, rem: quota - float64(whole)})
+	}
+	sort.SliceStable(fracs, func(a, b int) bool { return fracs[a].rem > fracs[b].rem })
+	for _, f := range fracs {
+		if used >= left {
+			break
+		}
+		if grants[f.idx] < wants[f.idx] {
+			grants[f.idx]++
+			used++
+		}
+	}
+	return grants
+}
+
+// publish rebuilds one tenant's routing tables for the given demand and
+// pushes plan+routes to its engine. Callers hold the controller lock.
+func (t *Tenant) publish(demand float64) {
+	specs := ExpandPlan(t.plan)
+	t.routes = MostAccurateFirst(t.Meta.Graph(), specs, demand*(1+t.RouteHeadroom), t.Meta.MultFactor)
+	if t.Publish != nil {
+		t.Publish(t.plan, t.routes)
+	}
+}
+
+// Rebalance reruns MostAccurateFirst for every tenant against its standing
+// plan with a fresh demand estimate (the Load Balancer's
+// between-allocations refresh).
+func (m *MultiController) Rebalance() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, t := range m.tenants {
+		if t.plan == nil {
+			continue
+		}
+		t.publish(t.Meta.DemandEstimate())
+	}
+}
+
+// PlanOf returns tenant i's standing plan (nil before the first Step).
+func (m *MultiController) PlanOf(i int) *Plan {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tenants[i].plan
+}
+
+// RoutesOf returns tenant i's standing routing tables (nil before the first
+// Step).
+func (m *MultiController) RoutesOf(i int) *Routes {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tenants[i].routes
+}
+
+// Grants returns the servers currently granted to each tenant, in
+// registration order. The sum never exceeds the pool.
+func (m *MultiController) Grants() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]int, len(m.tenants))
+	for i, t := range m.tenants {
+		out[i] = t.grant
+	}
+	return out
+}
+
+// Floors returns each tenant's resolved contention guarantee in servers.
+func (m *MultiController) Floors() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]int, len(m.tenants))
+	for i, t := range m.tenants {
+		out[i] = t.floorServers
+	}
+	return out
+}
+
+// Allocates returns the total number of MILP invocations (plan-cache
+// misses) across all tenants.
+func (m *MultiController) Allocates() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, t := range m.tenants {
+		n += t.allocates
+	}
+	return n
+}
+
+// AllocatesOf returns tenant i's MILP invocations.
+func (m *MultiController) AllocatesOf(i int) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tenants[i].allocates
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"loki/internal/profiles"
+)
+
+func arbiterTenant(t *testing.T, name string, pool int, minShare float64) *Tenant {
+	t.Helper()
+	g := profiles.TrafficChain()
+	prof := (&profiles.Profiler{}).ProfileGraph(g, profiles.Batches)
+	meta := NewMetadataStore(g, prof, 0.250, profiles.Batches)
+	alloc, err := NewAllocator(meta, AllocatorOptions{
+		Servers:        pool,
+		NetLatencySec:  0.002,
+		KeepWarm:       true,
+		Headroom:       0.30,
+		SolveTimeLimit: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Tenant{Name: name, Meta: meta, Alloc: alloc, MinShare: minShare, RouteHeadroom: 0.30}
+}
+
+// splitPool: floors bind under contention, leftover goes to the hungry
+// proportionally, and the result never exceeds the pool.
+func TestSplitPool(t *testing.T) {
+	mk := func(floors ...int) []*Tenant {
+		out := make([]*Tenant, len(floors))
+		for i, f := range floors {
+			out[i] = &Tenant{floorServers: f}
+		}
+		return out
+	}
+	cases := []struct {
+		pool   int
+		wants  []int
+		floors []int
+		want   []int
+	}{
+		// Both hungry beyond their floors: floors hold.
+		{20, []int{20, 20}, []int{10, 10}, []int{10, 10}},
+		// One idle: the hungry tenant takes the idle guarantee.
+		{20, []int{20, 3}, []int{10, 10}, []int{17, 3}},
+		// Uneven floors.
+		{20, []int{18, 18}, []int{14, 6}, []int{14, 6}},
+		// Leftover split proportionally to unmet want (12 vs 2 over 8 spare).
+		{24, []int{20, 10}, []int{8, 8}, []int{15, 9}},
+		// Three tenants, one idle.
+		{30, []int{25, 25, 2}, []int{10, 10, 10}, []int{14, 14, 2}},
+	}
+	for i, c := range cases {
+		got := splitPool(c.pool, c.wants, mk(c.floors...))
+		total := 0
+		for j := range got {
+			if got[j] != c.want[j] {
+				t.Errorf("case %d: splitPool(%d, %v, floors %v) = %v, want %v",
+					i, c.pool, c.wants, c.floors, got, c.want)
+				break
+			}
+			total += got[j]
+		}
+		if total > c.pool {
+			t.Errorf("case %d: grants %v exceed pool %d", i, got, c.pool)
+		}
+	}
+}
+
+// A spike in one tenant steals the idle tenant's unused servers on the next
+// adaptation round, and hands them back when the spike subsides.
+func TestJointAllocationStealsIdleAndReturns(t *testing.T) {
+	const pool = 20
+	a := arbiterTenant(t, "a", pool, 0.5)
+	b := arbiterTenant(t, "b", pool, 0.5)
+	m, err := NewMultiController(pool, []*Tenant{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Quiet start: both small.
+	a.Meta.ObserveDemand(100)
+	b.Meta.ObserveDemand(100)
+	if err := m.Step(true); err != nil {
+		t.Fatal(err)
+	}
+	quiet := m.Grants()
+	if quiet[0]+quiet[1] > pool {
+		t.Fatalf("quiet grants %v exceed pool", quiet)
+	}
+
+	// a spikes far beyond its 10-server guarantee while b idles.
+	for i := 0; i < 12; i++ {
+		a.Meta.ObserveDemand(1800)
+	}
+	if err := m.Step(true); err != nil {
+		t.Fatal(err)
+	}
+	spiked := m.Grants()
+	if spiked[0] <= pool/2 {
+		t.Fatalf("spike did not steal idle servers: grants %v (floors %v)", spiked, m.Floors())
+	}
+	if spiked[0]+spiked[1] > pool {
+		t.Fatalf("spiked grants %v exceed pool", spiked)
+	}
+	if plan := m.PlanOf(0); plan.ServersUsed > spiked[0] {
+		t.Fatalf("tenant a plan uses %d servers beyond its %d grant", plan.ServersUsed, spiked[0])
+	}
+	if m.RoutesOf(0) == nil || m.RoutesOf(1) == nil {
+		t.Fatal("routes missing after joint step")
+	}
+
+	// Spike subsides: the grant shrinks back.
+	for i := 0; i < 12; i++ {
+		a.Meta.ObserveDemand(100)
+	}
+	if err := m.Step(true); err != nil {
+		t.Fatal(err)
+	}
+	after := m.Grants()
+	if after[0] >= spiked[0] {
+		t.Fatalf("grant did not shrink after the spike: %v → %v", spiked, after)
+	}
+}
+
+// Under joint contention both tenants hold their guaranteed floors and the
+// constrained re-solves stay inside the grants.
+func TestJointContentionRespectsFloors(t *testing.T) {
+	const pool = 20
+	a := arbiterTenant(t, "a", pool, 0.5)
+	b := arbiterTenant(t, "b", pool, 0.5)
+	m, err := NewMultiController(pool, []*Tenant{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		a.Meta.ObserveDemand(2500)
+		b.Meta.ObserveDemand(2500)
+	}
+	if err := m.Step(true); err != nil {
+		t.Fatal(err)
+	}
+	g := m.Grants()
+	if g[0] != pool/2 || g[1] != pool/2 {
+		t.Fatalf("contended grants %v, want equal floors %d", g, pool/2)
+	}
+	for i := 0; i < 2; i++ {
+		if plan := m.PlanOf(i); plan == nil || plan.ServersUsed > g[i] {
+			t.Fatalf("tenant %d plan exceeds its grant %d: %+v", i, g[i], plan)
+		}
+	}
+}
+
+// The reactive step only re-solves when some tenant's demand moved past the
+// threshold.
+func TestJointReactiveThreshold(t *testing.T) {
+	const pool = 20
+	a := arbiterTenant(t, "a", pool, 0)
+	b := arbiterTenant(t, "b", pool, 0)
+	m, err := NewMultiController(pool, []*Tenant{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Meta.ObserveDemand(400)
+	b.Meta.ObserveDemand(400)
+	if err := m.Step(true); err != nil {
+		t.Fatal(err)
+	}
+	base := m.Allocates()
+
+	// Small wiggle: no new solve.
+	a.Meta.ObserveDemand(410)
+	if err := m.Step(false); err != nil {
+		t.Fatal(err)
+	}
+	if m.Allocates() != base {
+		t.Fatalf("reactive step re-solved on a %d→%d wiggle", 400, 410)
+	}
+
+	// Big move in one tenant: re-solve happens (cache may still absorb it,
+	// so check the step actually ran by watching the published plan demand).
+	for i := 0; i < 12; i++ {
+		b.Meta.ObserveDemand(1200)
+	}
+	if err := m.Step(false); err != nil {
+		t.Fatal(err)
+	}
+	if m.Allocates() == base {
+		t.Fatalf("reactive step ignored a 3× demand move")
+	}
+}
+
+// Constructor validation: bad shares, uncappable planners, impossible pools.
+func TestMultiControllerValidation(t *testing.T) {
+	const pool = 20
+	if _, err := NewMultiController(0, []*Tenant{arbiterTenant(t, "a", pool, 0)}); err == nil {
+		t.Fatal("zero pool accepted")
+	}
+	if _, err := NewMultiController(pool, nil); err == nil {
+		t.Fatal("empty tenant set accepted")
+	}
+	if _, err := NewMultiController(pool, []*Tenant{
+		arbiterTenant(t, "a", pool, 0.7), arbiterTenant(t, "b", pool, 0.7),
+	}); err == nil {
+		t.Fatal("oversubscribed MinShares accepted")
+	}
+	if _, err := NewMultiController(pool, []*Tenant{arbiterTenant(t, "a", pool, 1.5)}); err == nil {
+		t.Fatal("MinShare > 1 accepted")
+	}
+	// Pool smaller than the joint keep-warm minimum (2 tasks per tenant).
+	if _, err := NewMultiController(3, []*Tenant{
+		arbiterTenant(t, "a", pool, 0), arbiterTenant(t, "b", pool, 0),
+	}); err == nil {
+		t.Fatal("pool below the joint keep-warm minimum accepted")
+	}
+	// Floors oversubscribe once keep-warm raises kick in: on a 10-server
+	// pool, a 0.9 share (floor 9) plus an unreserved 2-task tenant (floor
+	// raised to 2) needs 11 — splitPool would grant past the pool.
+	if _, err := NewMultiController(10, []*Tenant{
+		arbiterTenant(t, "a", pool, 0.9), arbiterTenant(t, "b", pool, 0),
+	}); err == nil {
+		t.Fatal("oversubscribed contention floors accepted")
+	}
+	// A bare Planner (no capped solve) is fine alone but not on a shared pool.
+	bare := &Tenant{Name: "bare", Meta: arbiterTenant(t, "x", pool, 0).Meta, Alloc: plannerOnly{}}
+	if _, err := NewMultiController(pool, []*Tenant{bare}); err != nil {
+		t.Fatalf("single uncapped tenant rejected: %v", err)
+	}
+	if _, err := NewMultiController(pool, []*Tenant{bare, arbiterTenant(t, "b", pool, 0)}); err == nil {
+		t.Fatal("uncapped planner accepted on a shared pool")
+	}
+}
+
+type plannerOnly struct{}
+
+func (plannerOnly) Allocate(float64) (*Plan, error) { return &Plan{}, nil }

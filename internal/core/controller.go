@@ -5,13 +5,6 @@ import (
 	"sync"
 )
 
-// Controller ties the Resource Manager and Load Balancer together (§3). A
-// serving engine (the discrete-event cluster or the live wall-clock engine)
-// drives it: Step runs the Resource Manager's periodic allocation (with a
-// plan cache over quantized demand levels, since re-solving an identical
-// MILP every control period would be wasted work on a real cluster too),
-// and Rebalance refreshes only the routing tables between allocations, as
-// §5.1 describes.
 // Planner produces a resource allocation plan for a demand estimate. The
 // MILP-based Allocator is Loki's planner; the baselines in
 // internal/baselines (InferLine-like hardware scaling, Proteus-like
@@ -21,6 +14,16 @@ type Planner interface {
 	Allocate(demand float64) (*Plan, error)
 }
 
+// Controller ties the Resource Manager and Load Balancer together (§3) for
+// a single pipeline. A serving engine (the discrete-event cluster or the
+// live wall-clock engine) drives it: Step runs the Resource Manager's
+// periodic allocation (with a plan cache over quantized demand levels,
+// since re-solving an identical MILP every control period would be wasted
+// work on a real cluster too), and Rebalance refreshes only the routing
+// tables between allocations, as §5.1 describes. Its step/cache/publish
+// machinery is the shared Tenant state also used per pipeline by the
+// multi-tenant MultiController, so the single- and multi-tenant control
+// planes cannot drift.
 type Controller struct {
 	Meta  *MetadataStore
 	Alloc Planner
@@ -40,23 +43,22 @@ type Controller struct {
 	// the SLO/2 allowance. Should match the allocator's Headroom.
 	RouteHeadroom float64
 
-	mu        sync.Mutex
-	cache     map[int]*Plan
-	plan      *Plan
-	routes    *Routes
-	planDmd   float64 // demand the current plan was built for
-	allocates int     // MILP invocations (cache misses), for overhead stats
-	steps     int
+	mu    sync.Mutex
+	state Tenant // plan cache, standing plan/routes, allocate counter
+	steps int
 }
 
 // NewController wires a controller.
 func NewController(meta *MetadataStore, alloc Planner, publish func(*Plan, *Routes)) *Controller {
-	return &Controller{
-		Meta:    meta,
-		Alloc:   alloc,
-		Publish: publish,
-		cache:   map[int]*Plan{},
-	}
+	return &Controller{Meta: meta, Alloc: alloc, Publish: publish}
+}
+
+// stateLocked mirrors the controller's public fields (settable after
+// construction) into the embedded tenant state and returns it.
+func (c *Controller) stateLocked() *Tenant {
+	t := &c.state
+	t.Meta, t.Alloc, t.Publish, t.RouteHeadroom = c.Meta, c.Alloc, c.Publish, c.RouteHeadroom
+	return t
 }
 
 // demandBucket quantizes demand to ≈4% granularity for plan caching.
@@ -73,34 +75,25 @@ func demandBucket(d float64) int {
 func (c *Controller) Step(force bool) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	demand := c.Meta.DemandEstimate()
+	t := c.stateLocked()
+	demand := t.Meta.DemandEstimate()
 	c.steps++
 
 	thr := c.ReallocateThreshold
 	if thr == 0 {
 		thr = 0.2
 	}
-	if !force && c.plan != nil {
-		base := math.Max(c.planDmd, 1)
-		if math.Abs(demand-c.planDmd)/base < thr {
-			return nil
-		}
+	if !force && t.plan != nil && !t.moved(demand, thr) {
+		return nil
 	}
 
-	bucket := demandBucket(demand)
-	plan, ok := c.cache[bucket]
-	if !ok {
-		var err error
-		plan, err = c.Alloc.Allocate(demand)
-		if err != nil {
-			return err
-		}
-		c.cache[bucket] = plan
-		c.allocates++
+	plan, err := t.solve(demand, uncappedServers)
+	if err != nil {
+		return err
 	}
-	c.plan = plan
-	c.planDmd = demand
-	c.publishLocked(demand)
+	t.plan = plan
+	t.planDmd = demand
+	t.publish(demand)
 	return nil
 }
 
@@ -110,32 +103,25 @@ func (c *Controller) Step(force bool) error {
 func (c *Controller) Rebalance() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.plan == nil {
+	t := c.stateLocked()
+	if t.plan == nil {
 		return
 	}
-	c.publishLocked(c.Meta.DemandEstimate())
-}
-
-func (c *Controller) publishLocked(demand float64) {
-	specs := ExpandPlan(c.plan)
-	c.routes = MostAccurateFirst(c.Meta.Graph(), specs, demand*(1+c.RouteHeadroom), c.Meta.MultFactor)
-	if c.Publish != nil {
-		c.Publish(c.plan, c.routes)
-	}
+	t.publish(t.Meta.DemandEstimate())
 }
 
 // Plan returns the standing plan (nil before the first Step).
 func (c *Controller) Plan() *Plan {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.plan
+	return c.state.plan
 }
 
 // Routes returns the standing routing tables (nil before the first Step).
 func (c *Controller) Routes() *Routes {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.routes
+	return c.state.routes
 }
 
 // Allocates returns the number of MILP invocations performed (cache
@@ -143,5 +129,5 @@ func (c *Controller) Routes() *Routes {
 func (c *Controller) Allocates() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.allocates
+	return c.state.allocates
 }

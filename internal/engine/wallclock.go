@@ -39,7 +39,14 @@ func NewWallclock(cfg Config) (Engine, error) {
 
 func (w *wallclock) ApplyPlan(plan *core.Plan, routes *core.Routes) { w.e.ApplyPlan(plan, routes) }
 
-func (w *wallclock) Start(ctrl *core.Controller) error { return w.e.Start(ctrl) }
+func (w *wallclock) Start(ctrl *core.Controller) error {
+	// A nil *Controller must reach live.Engine as a nil interface, or its
+	// nil-ctrl guard would pass a typed nil on to Step.
+	if ctrl == nil {
+		return w.e.Start(nil)
+	}
+	return w.e.Start(ctrl)
+}
 
 func (w *wallclock) Submit() error { return w.e.Submit() }
 

@@ -195,3 +195,40 @@ func TestPolicyPluggedIntoRun(t *testing.T) {
 		t.Fatalf("NoDrop rerouted %d requests", res.Rerouted)
 	}
 }
+
+// The multi-tenant contention experiment: both tenants keep serving while
+// the pool is shared, the grant history shows the spike-driven
+// re-partitioning, and grants never oversubscribe the pool.
+func TestMultiTenantContentionExperiment(t *testing.T) {
+	res, err := MultiTenant(MultiTenantConfig{
+		Servers: 20, Seed: 11, TraceSteps: 24, StepSec: 5,
+		PeakA: 350, PeakB: 250, SpikeMult: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tenants) != 2 {
+		t.Fatalf("want 2 tenants, got %d", len(res.Tenants))
+	}
+	for _, tn := range res.Tenants {
+		if tn.Summary.Arrivals == 0 || tn.Summary.Completed == 0 {
+			t.Fatalf("tenant %q served nothing: %+v", tn.Name, tn.Summary)
+		}
+		if tn.Summary.ViolationRatio > 0.5 {
+			t.Fatalf("tenant %q lost most of its SLO under contention: %+v", tn.Name, tn.Summary)
+		}
+	}
+	if len(res.GrantHistory) == 0 {
+		t.Fatal("no joint allocations recorded")
+	}
+	for _, row := range res.GrantHistory {
+		if row[0]+row[1] > 20 {
+			t.Fatalf("grant row %v oversubscribes the pool", row)
+		}
+	}
+	// The spike must move the partition: traffic's grant varies across the run.
+	a := res.Tenants[0]
+	if a.MaxGrant <= a.MinGrant {
+		t.Fatalf("traffic grant never moved: min %d max %d", a.MinGrant, a.MaxGrant)
+	}
+}

@@ -273,9 +273,15 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	return res, nil
 }
 
-// inferLinePlanner adapts the InferLine baseline to the Planner interface.
+// inferLinePlanner adapts the InferLine baseline to the Planner interface,
+// forwarding capped solves so an InferLine-managed pipeline can live inside
+// a multi-tenant partition.
 type inferLinePlanner struct{ b *baselines.InferLine }
 
 func (p *inferLinePlanner) Allocate(d float64) (*core.Plan, error) {
 	return p.b.Allocate(d)
+}
+
+func (p *inferLinePlanner) AllocateCapped(d float64, servers int) (*core.Plan, error) {
+	return p.b.AllocateCapped(d, servers)
 }

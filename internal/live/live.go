@@ -67,7 +67,7 @@ type Engine struct {
 	stopped      bool
 
 	// Lifecycle state between Start and Stop.
-	ctrl      *core.Controller
+	ctrl      core.Control
 	arrRng    *rand.Rand
 	done      chan struct{}
 	workersWG sync.WaitGroup
@@ -273,7 +273,13 @@ func (e *Engine) ActiveServers() int {
 // Start launches the worker goroutines and the housekeeping loop
 // (per-second demand reports, heartbeats, reactive and periodic controller
 // steps). The engine then accepts Submit and Feed until Stop.
-func (e *Engine) Start(ctrl *core.Controller) error {
+//
+// ctrl is any core.Control — the single-pipeline Controller or the
+// multi-tenant MultiController. A nil ctrl runs demand reports and
+// heartbeats but no controller stepping; a multi-tenant harness passes nil
+// for all but one member engine so the joint controller is stepped exactly
+// once per interval.
+func (e *Engine) Start(ctrl core.Control) error {
 	e.mu.Lock()
 	if e.started {
 		e.mu.Unlock()
@@ -360,6 +366,9 @@ func (e *Engine) housekeeping() {
 			}
 			c.SampleServers(now, active)
 		})
+		if ctrl == nil {
+			continue
+		}
 		if err := ctrl.Step(false); err != nil {
 			e.recordErr(err)
 		}
@@ -463,7 +472,7 @@ func (e *Engine) Stop() error {
 // Serve drives the engine over a workload trace, blocking until the trace
 // finishes and in-flight requests drain. The controller is stepped on its
 // periodic intervals exactly as in the simulator. It is Start → Feed → Stop.
-func (e *Engine) Serve(tr *trace.Trace, ctrl *core.Controller) error {
+func (e *Engine) Serve(tr *trace.Trace, ctrl core.Control) error {
 	if err := e.Start(ctrl); err != nil {
 		return err
 	}

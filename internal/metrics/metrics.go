@@ -227,6 +227,53 @@ func (c *Collector) Summarize() Summary {
 	return s
 }
 
+// Merge combines per-tenant summaries into one pool-wide aggregate:
+// request counts sum; the violation ratio is recomputed from the summed
+// counts; mean accuracy and latency are weighted by each summary's answered
+// requests; the server columns add across summaries (tenants partition one
+// pool, so the sum is the pool's activity — Min/Max sums are bounds, not
+// exact joint extrema, since the per-tenant extremes need not coincide in
+// time). MeanUtiliz is left zero: the per-tenant utilizations already share
+// the pool denominator, so an aggregate would double-count.
+func Merge(sums ...Summary) Summary {
+	var out Summary
+	accSum, latSum := 0.0, 0.0
+	answered := 0
+	for _, s := range sums {
+		out.Arrivals += s.Arrivals
+		out.Completed += s.Completed
+		out.Late += s.Late
+		out.Dropped += s.Dropped
+		n := s.Completed + s.Late
+		accSum += s.MeanAccuracy * float64(n)
+		latSum += s.MeanLatency * float64(n)
+		answered += n
+		if s.MaxLatency > out.MaxLatency {
+			out.MaxLatency = s.MaxLatency
+		}
+		out.MeanServers += s.MeanServers
+		out.MinServers += s.MinServers
+		out.MaxServers += s.MaxServers
+	}
+	if out.Arrivals > 0 {
+		out.ViolationRatio = float64(out.Late+out.Dropped) / float64(out.Arrivals)
+	}
+	if answered > 0 {
+		out.MeanAccuracy = accSum / float64(answered)
+		out.MeanLatency = latSum / float64(answered)
+	}
+	minAcc := math.Inf(1)
+	for _, s := range sums {
+		if s.Completed+s.Late > 0 && s.MinAccuracy < minAcc {
+			minAcc = s.MinAccuracy
+		}
+	}
+	if !math.IsInf(minAcc, 1) {
+		out.MinAccuracy = minAcc
+	}
+	return out
+}
+
 // String renders the summary in one line.
 func (s Summary) String() string {
 	return fmt.Sprintf("arrivals=%d completed=%d late=%d dropped=%d viol=%.4f acc=%.4f servers=%.1f util=%.2f",

@@ -147,3 +147,43 @@ func TestSummaryConservation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Merge must sum counts, recompute the violation ratio, and weight accuracy
+// and latency by answered requests.
+func TestMergeSummaries(t *testing.T) {
+	a := Summary{
+		Arrivals: 100, Completed: 80, Late: 10, Dropped: 10,
+		ViolationRatio: 0.2, MeanAccuracy: 0.9, MinAccuracy: 0.85,
+		MeanLatency: 0.1, MaxLatency: 0.3,
+		MeanServers: 6, MinServers: 4, MaxServers: 8,
+	}
+	b := Summary{
+		Arrivals: 300, Completed: 270, Late: 0, Dropped: 30,
+		ViolationRatio: 0.1, MeanAccuracy: 0.8, MinAccuracy: 0.7,
+		MeanLatency: 0.2, MaxLatency: 0.25,
+		MeanServers: 10, MinServers: 9, MaxServers: 12,
+	}
+	m := Merge(a, b)
+	if m.Arrivals != 400 || m.Completed != 350 || m.Late != 10 || m.Dropped != 40 {
+		t.Fatalf("count sums wrong: %+v", m)
+	}
+	if want := 50.0 / 400; m.ViolationRatio != want {
+		t.Fatalf("ViolationRatio = %v, want %v", m.ViolationRatio, want)
+	}
+	// 90 answered at 0.9, 270 answered at 0.8.
+	if want := (90*0.9 + 270*0.8) / 360; math.Abs(m.MeanAccuracy-want) > 1e-12 {
+		t.Fatalf("MeanAccuracy = %v, want %v", m.MeanAccuracy, want)
+	}
+	if want := (90*0.1 + 270*0.2) / 360; math.Abs(m.MeanLatency-want) > 1e-12 {
+		t.Fatalf("MeanLatency = %v, want %v", m.MeanLatency, want)
+	}
+	if m.MinAccuracy != 0.7 || m.MaxLatency != 0.3 {
+		t.Fatalf("extrema wrong: %+v", m)
+	}
+	if m.MeanServers != 16 || m.MinServers != 13 || m.MaxServers != 20 {
+		t.Fatalf("server sums wrong: %+v", m)
+	}
+	if got := Merge(); got.Arrivals != 0 || got.ViolationRatio != 0 {
+		t.Fatalf("empty merge not zero: %+v", got)
+	}
+}

@@ -93,6 +93,26 @@ func (t *Trace) Clip(lo, hi float64) *Trace {
 	return out
 }
 
+// WithSpike returns a copy with a multiplicative burst overlaid: rates in
+// the window [startFrac, startFrac+durFrac) of the trace (fractions of its
+// duration, clamped to [0,1]) are multiplied by mult. It synthesizes the
+// flash-crowd contention scenarios of the multi-tenant experiments — one
+// pipeline spikes while its neighbours' demand stays put.
+func (t *Trace) WithSpike(startFrac, durFrac, mult float64) *Trace {
+	clamp := func(x float64) float64 { return math.Min(1, math.Max(0, x)) }
+	startFrac = clamp(startFrac)
+	endFrac := clamp(startFrac + durFrac)
+	out := &Trace{Interval: t.Interval, QPS: append([]float64(nil), t.QPS...)}
+	n := float64(len(t.QPS))
+	for i := range out.QPS {
+		x := float64(i) / n
+		if x >= startFrac && x < endFrac {
+			out.QPS[i] *= mult
+		}
+	}
+	return out
+}
+
 // Ramp returns a linear ramp from startQPS to endQPS over steps intervals —
 // the demand pattern of Figure 1's capacity walkthrough.
 func Ramp(startQPS, endQPS float64, steps int, interval float64) *Trace {

@@ -43,6 +43,15 @@
 // blocks (allocation plans, routing tables) are exposed through the Plan and
 // Routes types and the cmd/ tools; the experiments regenerating every figure
 // of the paper live in internal/experiments behind cmd/lokiexp.
+//
+// Several pipelines can share one server pool: build a MultiSystem with
+// NewMulti, register each pipeline with AddPipeline (per-pipeline SLO,
+// policy, and contention guarantee via PipelineOptions), and serve
+// concurrent traces with FeedAll. The joint Resource Manager re-partitions
+// the pool across pipelines on every adaptation round — see ARCHITECTURE.md
+// for the layer map and the multi-tenant control flow. A System built with
+// New is exactly a MultiSystem with a single registered pipeline holding
+// the whole pool.
 package loki
 
 import (
@@ -137,7 +146,12 @@ const (
 	BaselineProteus                   // pipeline-agnostic per-task accuracy scaling
 )
 
-// Option configures Serve.
+// Option configures a serving system (New, NewMulti, Serve) or a planning
+// entry point (PlanFor, MaxCapacity). Pool-level knobs (WithServers,
+// WithSeed, WithEngine, WithNetworkLatency, WithHeadroom) always apply to
+// the whole system; per-pipeline knobs (WithSLO, WithPolicy, WithBaseline)
+// set the defaults that a MultiSystem's PipelineOptions may override for
+// individual pipelines.
 type Option func(*config)
 
 type config struct {
@@ -165,10 +179,15 @@ func (c config) headroomOrDefault() float64 {
 	return c.headroom
 }
 
-// WithServers sets the cluster size (default 20, the paper's testbed).
+// WithServers sets the cluster size (default 20, the paper's testbed). On a
+// MultiSystem this is the shared pool every registered pipeline draws from.
 func WithServers(n int) Option { return func(c *config) { c.servers = n } }
 
-// WithSLO sets the end-to-end latency SLO (default 250 ms).
+// WithSLO sets the end-to-end latency SLO (default 250 ms). On a
+// MultiSystem it is the default for pipelines that do not set their own via
+// WithPipelineSLO. The SLO shapes planning, not just measurement: the
+// Resource Manager prunes configuration paths whose latency cannot fit it,
+// so an SLO no variant combination can meet fails at construction.
 func WithSLO(d time.Duration) Option { return func(c *config) { c.slo = d } }
 
 // WithNetworkLatency sets the per-hop communication latency (default 2 ms).
@@ -176,17 +195,32 @@ func WithNetworkLatency(d time.Duration) Option {
 	return func(c *config) { c.netLatency = d }
 }
 
-// WithSeed fixes all stochastic choices.
+// WithSeed fixes all stochastic choices (profiling noise, routing draws,
+// Poisson arrivals and fan-out). On the Simulated engine a fixed seed makes
+// whole runs bit-for-bit reproducible; multi-tenant systems derive disjoint
+// per-pipeline RNG streams from it.
 func WithSeed(s int64) Option { return func(c *config) { c.seed = s } }
 
 // WithPolicy selects the early-dropping policy (default opportunistic
-// rerouting).
+// rerouting). The policy is a serving-time mechanism and composes freely
+// with WithBaseline: the baseline replaces the Resource Manager's planning
+// strategy, while the policy governs what workers do with straggling
+// requests under whichever plan is standing. On a MultiSystem it is the
+// default that WithPipelinePolicy overrides per pipeline.
 func WithPolicy(p Policy) Option { return func(c *config) { c.pol = p } }
 
-// WithBaseline serves with a baseline strategy instead of Loki.
+// WithBaseline serves with a baseline planning strategy instead of Loki's
+// MILP (see Baseline). Only the planner changes — engine, routing, drop
+// policy (WithPolicy), and metrics stay identical, which is what makes the
+// §6 comparisons apples-to-apples. On a MultiSystem it is the default that
+// WithPipelineBaseline overrides per pipeline; note BaselineProteus cannot
+// share a pool (it has no capped solve).
 func WithBaseline(b Baseline) Option { return func(c *config) { c.baseline = b } }
 
 // WithHeadroom sets the capacity over-provisioning factor (default 0.30).
+// It inflates both the demand the Resource Manager plans for and the demand
+// the Load Balancer routes for, keeping batch-queue waits inside the SLO/2
+// allowance at critical load.
 func WithHeadroom(h float64) Option { return func(c *config) { c.headroom = h } }
 
 // WithSwapLatency models the model-load pause when a worker changes variant.
@@ -209,6 +243,11 @@ func WithMinAccuracy(a float64) Option { return func(c *config) { c.minAcc = a }
 
 // Report is the outcome of a serving run.
 type Report struct {
+	// Pipeline labels which pipeline the totals belong to. Empty on a
+	// single-pipeline System report; set to the registered name on
+	// MultiSystem reports (and "all" on AggregateReport), so mixed-tenant
+	// numbers are never silently summed.
+	Pipeline string
 	// Accuracy is the mean end-to-end accuracy over answered requests
 	// (normalized; 1.0 = every task used its most accurate variant).
 	Accuracy float64
@@ -229,10 +268,15 @@ type Report struct {
 // SeriesPoint is one metrics bucket of a run.
 type SeriesPoint = metrics.Point
 
-// String summarizes the report.
+// String summarizes the report in one line, prefixed with the pipeline
+// label when the report belongs to one tenant of a shared pool.
 func (r *Report) String() string {
-	return fmt.Sprintf("accuracy=%.4f slo-violations=%.4f servers=%.1f (min %.0f, max %.0f) requests=%d (late %d, dropped %d)",
-		r.Accuracy, r.SLOViolationRatio, r.MeanServers, r.MinServers, r.MaxServers,
+	label := ""
+	if r.Pipeline != "" {
+		label = fmt.Sprintf("pipeline=%s ", r.Pipeline)
+	}
+	return fmt.Sprintf("%saccuracy=%.4f slo-violations=%.4f servers=%.1f (min %.0f, max %.0f) requests=%d (late %d, dropped %d)",
+		label, r.Accuracy, r.SLOViolationRatio, r.MeanServers, r.MinServers, r.MaxServers,
 		r.Arrivals, r.Late, r.Dropped)
 }
 

@@ -4,41 +4,40 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sync"
-	"time"
 
+	"loki/internal/baselines"
 	"loki/internal/core"
-	"loki/internal/engine"
 	"loki/internal/experiments"
-	"loki/internal/metrics"
 )
 
 // ErrStopped is returned by Submit and Feed after Stop.
 var ErrStopped = errors.New("loki: system is stopped")
 
-// System is a long-lived serving instance: a cluster of workers, the
-// Resource Manager and Load Balancer reacting to live demand, and an online
-// request frontend. Build one with New, inject traffic with Submit or Feed,
-// observe it with Snapshot, Plan, and Routes, and drain it with Stop.
+// defaultPipeline names the single tenant a System registers with its
+// underlying MultiSystem.
+const defaultPipeline = "default"
+
+// System is a long-lived serving instance for one pipeline: a cluster of
+// workers, the Resource Manager and Load Balancer reacting to live demand,
+// and an online request frontend. Build one with New, inject traffic with
+// Submit or Feed, observe it with Snapshot, Plan, and Routes, and drain it
+// with Stop.
+//
+// A System is a thin wrapper over a single-tenant MultiSystem — the same
+// control plane that arbitrates several pipelines on a shared pool runs
+// here with one tenant holding the whole pool, so single- and multi-tenant
+// serving behave identically. Use NewMulti to share the pool across
+// pipelines.
 //
 // On the default Simulated engine, virtual time advances only while Feed or
 // Stop runs, so the System must be driven from a single goroutine; on the
 // Wallclock engine, Submit and Snapshot are safe to call concurrently with a
 // running Feed.
 type System struct {
-	cfg  config
-	pipe *Pipeline
-	meta *core.MetadataStore
-	ctrl *core.Controller
-	eng  engine.Engine
-	col  *metrics.Collector
-
-	mu         sync.Mutex
-	primed     bool
-	engStarted bool
-	stopped    bool
+	ms *MultiSystem
 }
 
+// approachFor maps the public Baseline knob onto the experiments wiring.
 func approachFor(b Baseline) experiments.Approach {
 	switch b {
 	case BaselineInferLine:
@@ -50,6 +49,13 @@ func approachFor(b Baseline) experiments.Approach {
 	}
 }
 
+// newPlannerFor builds a tenant's planner for the selected strategy; the
+// Proteus return is non-nil only for that baseline (its per-task demand
+// observer must be wired into the engine).
+func newPlannerFor(b Baseline, meta *core.MetadataStore, aopts core.AllocatorOptions) (core.Planner, *baselines.Proteus, error) {
+	return experiments.NewPlanner(approachFor(b), meta, aopts)
+}
+
 // New stands up a serving system for the pipeline: it profiles the model
 // variants, wires the Resource Manager (Loki's MILP or a baseline via
 // WithBaseline), and prepares the engine selected by WithEngine. The system
@@ -59,75 +65,22 @@ func New(p *Pipeline, opts ...Option) (*System, error) {
 	if p == nil {
 		return nil, fmt.Errorf("loki: nil pipeline")
 	}
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	c := buildConfig(opts)
-
-	meta, aopts := metaAndOpts(p, c)
-	planner, proteus, err := experiments.NewPlanner(approachFor(c.baseline), meta, aopts)
+	ms, err := NewMulti(opts...)
 	if err != nil {
 		return nil, err
 	}
-
-	col := metrics.NewCollector(30, c.servers)
-	ecfg := engine.Config{
-		Meta:           meta,
-		Policy:         c.pol,
-		Collector:      col,
-		Servers:        c.servers,
-		SLOSec:         c.slo.Seconds(),
-		NetLatencySec:  c.netLatency.Seconds(),
-		Seed:           c.seed,
-		SwapLatencySec: c.swap.Seconds(),
-		ExecJitter:     c.jitter,
-		TimeScale:      c.timeScale,
+	if err := ms.AddPipeline(defaultPipeline, p); err != nil {
+		return nil, err
 	}
-	if proteus != nil {
-		ecfg.OnTaskDemand = proteus.ObserveTaskDemand
-	}
-
-	eng, err := engine.New(engine.Kind(c.engine), ecfg)
+	// Build eagerly so engine and controller configuration errors surface
+	// from New, as they always have, rather than from the first injection.
+	ms.mu.Lock()
+	err = ms.buildLocked()
+	ms.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
-
-	ctrl := core.NewController(meta, planner, eng.ApplyPlan)
-	ctrl.RouteHeadroom = c.headroomOrDefault()
-
-	// The engine starts lazily on the first Submit/Feed, after the prime:
-	// an idle wallclock engine would otherwise tick 0-QPS demand
-	// observations into the estimator while the caller prepares traffic.
-	return &System{cfg: c, pipe: p, meta: meta, ctrl: ctrl, eng: eng, col: col}, nil
-}
-
-// primeLocked runs the first allocation if none has happened yet. qps > 0
-// seeds the demand estimate (Feed uses the trace's opening rate, matching
-// the pre-warm of a batch run); qps == 0 allocates a keep-warm minimal plan.
-func (s *System) primeLocked(qps float64) error {
-	if s.primed {
-		return nil
-	}
-	if qps > 0 {
-		s.meta.ObserveDemand(qps)
-	}
-	if err := s.ctrl.Step(true); err != nil {
-		return err
-	}
-	s.primed = true
-	return nil
-}
-
-// startLocked launches the engine on the first injection (after priming).
-func (s *System) startLocked() error {
-	if s.engStarted {
-		return nil
-	}
-	if err := s.eng.Start(s.ctrl); err != nil {
-		return err
-	}
-	s.engStarted = true
-	return nil
+	return &System{ms: ms}, nil
 }
 
 // Submit admits one request at the system's current time. On the Simulated
@@ -135,24 +88,7 @@ func (s *System) startLocked() error {
 // Stop call); on the Wallclock engine it is served immediately. The context
 // is checked for cancellation before admission.
 func (s *System) Submit(ctx context.Context) error {
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	s.mu.Lock()
-	if s.stopped {
-		s.mu.Unlock()
-		return ErrStopped
-	}
-	if err := s.primeLocked(0); err != nil {
-		s.mu.Unlock()
-		return err
-	}
-	if err := s.startLocked(); err != nil {
-		s.mu.Unlock()
-		return err
-	}
-	s.mu.Unlock()
-	return s.eng.Submit()
+	return s.ms.Submit(ctx, defaultPipeline)
 }
 
 // Feed plays a workload trace's Poisson arrival process through the system,
@@ -161,55 +97,30 @@ func (s *System) Submit(ctx context.Context) error {
 // pre-warms the Resource Manager for the trace's opening demand. Traces can
 // be fed back to back; requests still in flight keep draining across calls.
 func (s *System) Feed(tr *Trace) error {
-	if tr == nil || len(tr.QPS) == 0 {
-		return fmt.Errorf("loki: empty trace")
-	}
-	s.mu.Lock()
-	if s.stopped {
-		s.mu.Unlock()
-		return ErrStopped
-	}
-	if err := s.primeLocked(tr.QPS[0]); err != nil {
-		s.mu.Unlock()
-		return err
-	}
-	if err := s.startLocked(); err != nil {
-		s.mu.Unlock()
-		return err
-	}
-	s.mu.Unlock()
-	return s.eng.Feed(tr)
+	return s.ms.Feed(defaultPipeline, tr)
 }
 
 // Stop gracefully drains in-flight requests and shuts the system down.
 // Idempotent; after Stop, Submit and Feed return ErrStopped while Snapshot,
 // Plan, Routes, and Report keep working on the final state.
-func (s *System) Stop() error {
-	s.mu.Lock()
-	if s.stopped {
-		s.mu.Unlock()
-		return nil
-	}
-	s.stopped = true
-	started := s.engStarted
-	s.mu.Unlock()
-	if !started {
-		return nil
-	}
-	return s.eng.Stop()
-}
+func (s *System) Stop() error { return s.ms.Stop() }
 
 // Snapshot is a point-in-time view of a running System.
 type Snapshot struct {
 	// TimeSec is the engine time in seconds since New (virtual on the
 	// Simulated engine, scaled wall time on Wallclock).
 	TimeSec float64
-	// Request totals so far.
+	// Arrivals, Completed, Dropped, and Rerouted are request totals so far.
 	Arrivals, Completed, Dropped, Rerouted int64
 	// InFlight is the number of admitted requests not yet resolved.
 	InFlight int64
 	// ActiveServers counts workers currently hosting a model variant.
 	ActiveServers int
+	// GrantedServers is the partition of the pool the joint allocator
+	// currently grants this pipeline: its standing plan's server count when
+	// the pool is uncontended (the rest of the pool is idle headroom any
+	// tenant may grow into), and its arbitrated share under contention.
+	GrantedServers int
 	// Allocates counts Resource Manager MILP invocations (plan-cache
 	// misses) so far.
 	Allocates int
@@ -217,44 +128,28 @@ type Snapshot struct {
 
 // Snapshot returns live counters without disturbing the run.
 func (s *System) Snapshot() Snapshot {
-	st := s.eng.Stats()
-	return Snapshot{
-		TimeSec:       s.eng.Now(),
-		Arrivals:      st.Injected,
-		Completed:     st.Completed,
-		Dropped:       st.Dropped,
-		Rerouted:      st.Rerouted,
-		InFlight:      st.Injected - st.Completed - st.Dropped,
-		ActiveServers: s.eng.ActiveServers(),
-		Allocates:     s.ctrl.Allocates(),
-	}
+	snap, _ := s.ms.Snapshot(defaultPipeline)
+	return snap
 }
 
 // Plan returns the Resource Manager's standing allocation plan (nil before
 // the first allocation).
-func (s *System) Plan() *Plan { return s.ctrl.Plan() }
+func (s *System) Plan() *Plan {
+	plan, _ := s.ms.Plan(defaultPipeline)
+	return plan
+}
 
 // Routes returns the Load Balancer's standing routing tables (nil before
 // the first allocation).
-func (s *System) Routes() *Routes { return s.ctrl.Routes() }
+func (s *System) Routes() *Routes {
+	routes, _ := s.ms.Routes(defaultPipeline)
+	return routes
+}
 
 // Report summarizes the run so far (or the whole run, after Stop) with the
 // §6.1 metrics.
 func (s *System) Report() *Report {
-	sum := s.col.Summarize()
-	st := s.eng.Stats()
-	return &Report{
-		Accuracy:          sum.MeanAccuracy,
-		SLOViolationRatio: sum.ViolationRatio,
-		MeanServers:       sum.MeanServers,
-		MinServers:        sum.MinServers,
-		MaxServers:        sum.MaxServers,
-		MeanLatency:       time.Duration(sum.MeanLatency * float64(time.Second)),
-		Arrivals:          int64(sum.Arrivals),
-		Completed:         int64(sum.Completed),
-		Late:              int64(sum.Late),
-		Dropped:           int64(sum.Dropped),
-		Rerouted:          st.Rerouted,
-		Series:            s.col.Series(),
-	}
+	r, _ := s.ms.Report(defaultPipeline)
+	r.Pipeline = "" // a single-pipeline report needs no tenant label
+	return r
 }

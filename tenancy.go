@@ -1,0 +1,553 @@
+package loki
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"loki/internal/core"
+	"loki/internal/engine"
+	"loki/internal/metrics"
+)
+
+// ErrUnknownPipeline is returned when a MultiSystem method names a pipeline
+// that was never registered with AddPipeline.
+var ErrUnknownPipeline = errors.New("loki: unknown pipeline")
+
+// pipelineConfig holds the per-pipeline knobs of a multi-tenant System.
+// Zero values inherit the system-wide Option defaults.
+type pipelineConfig struct {
+	slo      time.Duration
+	pol      Policy
+	share    float64
+	baseline Baseline
+	baseSet  bool
+}
+
+// PipelineOption configures one pipeline registered with
+// MultiSystem.AddPipeline. System-wide Options (WithSLO, WithPolicy,
+// WithBaseline) set the defaults; PipelineOptions override them per
+// pipeline.
+type PipelineOption func(*pipelineConfig)
+
+// WithPipelineSLO sets this pipeline's end-to-end latency SLO, overriding
+// the system-wide WithSLO default.
+func WithPipelineSLO(d time.Duration) PipelineOption {
+	return func(c *pipelineConfig) { c.slo = d }
+}
+
+// WithPipelinePolicy sets this pipeline's early-dropping policy, overriding
+// the system-wide WithPolicy default.
+func WithPipelinePolicy(p Policy) PipelineOption {
+	return func(c *pipelineConfig) { c.pol = p }
+}
+
+// WithShare guarantees this pipeline a minimum fraction of the server pool
+// when combined demand exceeds it. Pipelines without an explicit share split
+// the unreserved fraction equally. Shares only bind under contention: an
+// idle pipeline's guarantee is lent to whoever needs it and reclaimed on the
+// next adaptation round.
+func WithShare(f float64) PipelineOption {
+	return func(c *pipelineConfig) { c.share = f }
+}
+
+// WithPipelineBaseline plans this pipeline with a baseline strategy instead
+// of Loki's MILP, overriding the system-wide WithBaseline default. On a
+// shared pool the baseline must support capped solves (BaselineInferLine
+// does; BaselineProteus is single-tenant only).
+func WithPipelineBaseline(b Baseline) PipelineOption {
+	return func(c *pipelineConfig) { c.baseline = b; c.baseSet = true }
+}
+
+// msTenant is one registered pipeline with its per-tenant control-plane
+// pieces (built eagerly by AddPipeline so configuration errors surface
+// there).
+type msTenant struct {
+	name    string
+	pipe    *Pipeline
+	pcfg    pipelineConfig
+	meta    *core.MetadataStore
+	planner core.Planner
+	col     *metrics.Collector
+	ecfg    engine.TenantConfig
+}
+
+// MultiSystem serves several pipelines on one shared server pool. Register
+// pipelines with AddPipeline, then inject traffic per pipeline (Submit,
+// Feed) or for all at once (FeedAll); the joint Resource Manager partitions
+// the pool across pipelines on every adaptation round, so a traffic spike
+// in one pipeline steals servers another is not using, while WithShare
+// guarantees hold under contention. Each pipeline keeps its own routing
+// tables, metrics, and Report.
+//
+// The first injection freezes registration and stands the control plane up;
+// the same engine-threading rules as System apply (single goroutine on the
+// Simulated engine, concurrent use on Wallclock).
+type MultiSystem struct {
+	cfg config
+
+	mu         sync.Mutex
+	byName     map[string]int
+	tenants    []*msTenant
+	built      bool
+	primed     bool
+	engStarted bool
+	stopped    bool
+
+	eng  engine.MultiEngine
+	ctrl *core.MultiController
+}
+
+// NewMulti creates an empty multi-tenant serving system over a shared pool
+// sized by WithServers. System-wide Options set pool-level knobs (servers,
+// seed, engine, network latency) and the per-pipeline defaults (SLO,
+// policy, baseline) that AddPipeline's PipelineOptions may override.
+func NewMulti(opts ...Option) (*MultiSystem, error) {
+	c := buildConfig(opts)
+	if c.servers <= 0 {
+		return nil, fmt.Errorf("loki: multi-tenant pool needs a positive server count, got %d", c.servers)
+	}
+	return &MultiSystem{cfg: c, byName: map[string]int{}}, nil
+}
+
+// AddPipeline registers a pipeline under a unique name. It validates the
+// pipeline, profiles its variants, and builds its planner immediately, so
+// infeasible configurations (for example an SLO no variant can meet) fail
+// here. Registration closes once traffic has been injected.
+func (m *MultiSystem) AddPipeline(name string, p *Pipeline, opts ...PipelineOption) error {
+	if name == "" {
+		return fmt.Errorf("loki: pipeline needs a name")
+	}
+	if name == "all" {
+		return fmt.Errorf("loki: pipeline name %q is reserved for AggregateReport", name)
+	}
+	if p == nil {
+		return fmt.Errorf("loki: nil pipeline")
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	pc := pipelineConfig{}
+	for _, o := range opts {
+		o(&pc)
+	}
+	if pc.slo == 0 {
+		pc.slo = m.cfg.slo
+	}
+	if pc.pol == nil {
+		pc.pol = m.cfg.pol
+	}
+	if !pc.baseSet {
+		pc.baseline = m.cfg.baseline
+	}
+	if pc.share < 0 || pc.share >= 1 {
+		return fmt.Errorf("loki: pipeline %q share %.3f outside [0,1)", name, pc.share)
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.built {
+		return fmt.Errorf("loki: pipeline registration is closed once traffic has been injected")
+	}
+	if _, dup := m.byName[name]; dup {
+		return fmt.Errorf("loki: pipeline %q already registered", name)
+	}
+
+	tc := m.cfg
+	tc.slo = pc.slo
+	meta, aopts := metaAndOpts(p, tc)
+	planner, proteus, err := newPlannerFor(pc.baseline, meta, aopts)
+	if err != nil {
+		return err
+	}
+	col := metrics.NewCollector(30, m.cfg.servers)
+	t := &msTenant{
+		name:    name,
+		pipe:    p,
+		pcfg:    pc,
+		meta:    meta,
+		planner: planner,
+		col:     col,
+		ecfg: engine.TenantConfig{
+			Meta:      meta,
+			Policy:    pc.pol,
+			Collector: col,
+			SLOSec:    pc.slo.Seconds(),
+		},
+	}
+	if proteus != nil {
+		t.ecfg.OnTaskDemand = proteus.ObserveTaskDemand
+	}
+	m.byName[name] = len(m.tenants)
+	m.tenants = append(m.tenants, t)
+	return nil
+}
+
+// Pipelines lists the registered pipeline names in registration order.
+func (m *MultiSystem) Pipelines() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, len(m.tenants))
+	for i, t := range m.tenants {
+		out[i] = t.name
+	}
+	return out
+}
+
+// buildLocked stands the shared control plane up: the multi-tenant engine
+// over the shared pool and the joint controller that partitions it. Called
+// under m.mu on the first injection (or eagerly by New for the
+// single-pipeline wrapper).
+func (m *MultiSystem) buildLocked() error {
+	if m.built {
+		return nil
+	}
+	if len(m.tenants) == 0 {
+		return fmt.Errorf("loki: no pipelines registered")
+	}
+	mc := engine.MultiConfig{
+		Servers:        m.cfg.servers,
+		NetLatencySec:  m.cfg.netLatency.Seconds(),
+		Seed:           m.cfg.seed,
+		SwapLatencySec: m.cfg.swap.Seconds(),
+		ExecJitter:     m.cfg.jitter,
+		TimeScale:      m.cfg.timeScale,
+	}
+	for _, t := range m.tenants {
+		mc.Tenants = append(mc.Tenants, t.ecfg)
+	}
+	eng, err := engine.NewMulti(engine.Kind(m.cfg.engine), mc)
+	if err != nil {
+		return err
+	}
+	ctenants := make([]*core.Tenant, len(m.tenants))
+	for i, t := range m.tenants {
+		i := i
+		ctenants[i] = &core.Tenant{
+			Name:          t.name,
+			Meta:          t.meta,
+			Alloc:         t.planner,
+			MinShare:      t.pcfg.share,
+			RouteHeadroom: m.cfg.headroomOrDefault(),
+			Publish: func(plan *core.Plan, routes *core.Routes) {
+				eng.ApplyPlan(i, plan, routes)
+			},
+		}
+	}
+	ctrl, err := core.NewMultiController(m.cfg.servers, ctenants)
+	if err != nil {
+		return err
+	}
+	m.eng = eng
+	m.ctrl = ctrl
+	m.built = true
+	return nil
+}
+
+// primeLocked runs the first joint allocation if none has happened yet.
+// openQPS seeds each tenant's demand estimate (nil or zero entries allocate
+// keep-warm minimal plans).
+func (m *MultiSystem) primeLocked(openQPS []float64) error {
+	if m.primed {
+		return nil
+	}
+	for i, t := range m.tenants {
+		if openQPS != nil && openQPS[i] > 0 {
+			t.meta.ObserveDemand(openQPS[i])
+		}
+	}
+	if err := m.ctrl.Step(true); err != nil {
+		return err
+	}
+	m.primed = true
+	return nil
+}
+
+// startLocked launches the engine on the first injection (after priming).
+func (m *MultiSystem) startLocked() error {
+	if m.engStarted {
+		return nil
+	}
+	if err := m.eng.Start(m.ctrl); err != nil {
+		return err
+	}
+	m.engStarted = true
+	return nil
+}
+
+// admit is the shared build→prime→start preamble of every injection path.
+// Callers hold m.mu.
+func (m *MultiSystem) admit(openQPS []float64) error {
+	if m.stopped {
+		return ErrStopped
+	}
+	if err := m.buildLocked(); err != nil {
+		return err
+	}
+	if err := m.primeLocked(openQPS); err != nil {
+		return err
+	}
+	return m.startLocked()
+}
+
+func (m *MultiSystem) index(name string) (int, error) {
+	i, ok := m.byName[name]
+	if !ok {
+		return 0, fmt.Errorf("%w %q", ErrUnknownPipeline, name)
+	}
+	return i, nil
+}
+
+// Submit admits one request for the named pipeline at the system's current
+// time. The context is checked for cancellation before admission.
+func (m *MultiSystem) Submit(ctx context.Context, pipeline string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	i, err := m.index(pipeline)
+	if err == nil {
+		err = m.admit(nil)
+	}
+	m.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return m.eng.Submit(i)
+}
+
+// Feed plays a workload trace through the named pipeline, blocking until
+// the last arrival has been admitted. Other pipelines idle (their keep-warm
+// plans stand) but keep serving whatever is in flight. On the Simulated
+// engine the traces of successive Feed calls play back to back in virtual
+// time; use FeedAll to overlap traces.
+func (m *MultiSystem) Feed(pipeline string, tr *Trace) error {
+	if tr == nil || len(tr.QPS) == 0 {
+		return fmt.Errorf("loki: empty trace")
+	}
+	m.mu.Lock()
+	i, err := m.index(pipeline)
+	var traces []*Trace
+	if err == nil {
+		traces = make([]*Trace, len(m.tenants))
+		traces[i] = tr
+		open := make([]float64, len(m.tenants))
+		open[i] = tr.QPS[0]
+		err = m.admit(open)
+	}
+	m.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return m.eng.FeedAll(traces)
+}
+
+// FeedAll plays one trace per named pipeline concurrently on the shared
+// pool — the multi-tenant serving run. Pipelines absent from the map idle.
+// It blocks until the last arrival of the longest trace has been admitted.
+func (m *MultiSystem) FeedAll(traces map[string]*Trace) error {
+	if len(traces) == 0 {
+		return fmt.Errorf("loki: FeedAll needs at least one trace")
+	}
+	m.mu.Lock()
+	arr := make([]*Trace, len(m.tenants))
+	open := make([]float64, len(m.tenants))
+	var err error
+	for name, tr := range traces {
+		var i int
+		if i, err = m.index(name); err != nil {
+			break
+		}
+		if tr == nil || len(tr.QPS) == 0 {
+			err = fmt.Errorf("loki: empty trace for pipeline %q", name)
+			break
+		}
+		arr[i] = tr
+		open[i] = tr.QPS[0]
+	}
+	if err == nil {
+		err = m.admit(open)
+	}
+	m.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return m.eng.FeedAll(arr)
+}
+
+// Stop gracefully drains in-flight requests of every pipeline and shuts the
+// system down. Idempotent; after Stop, Submit and Feed return ErrStopped
+// while the observation methods keep working on the final state.
+func (m *MultiSystem) Stop() error {
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		return nil
+	}
+	m.stopped = true
+	started := m.engStarted
+	m.mu.Unlock()
+	if !started {
+		return nil
+	}
+	return m.eng.Stop()
+}
+
+// Snapshot returns live counters for the named pipeline without disturbing
+// the run (zeros before the first injection).
+func (m *MultiSystem) Snapshot(pipeline string) (Snapshot, error) {
+	m.mu.Lock()
+	i, err := m.index(pipeline)
+	built := m.built
+	m.mu.Unlock()
+	if err != nil {
+		return Snapshot{}, err
+	}
+	if !built {
+		return Snapshot{}, nil
+	}
+	st := m.eng.Stats(i)
+	return Snapshot{
+		TimeSec:        m.eng.Now(),
+		Arrivals:       st.Injected,
+		Completed:      st.Completed,
+		Dropped:        st.Dropped,
+		Rerouted:       st.Rerouted,
+		InFlight:       st.Injected - st.Completed - st.Dropped,
+		ActiveServers:  m.eng.ActiveServers(i),
+		GrantedServers: m.ctrl.Grants()[i],
+		Allocates:      m.ctrl.AllocatesOf(i),
+	}, nil
+}
+
+// Plan returns the named pipeline's standing allocation plan (nil before
+// the first allocation).
+func (m *MultiSystem) Plan(pipeline string) (*Plan, error) {
+	m.mu.Lock()
+	i, err := m.index(pipeline)
+	built := m.built
+	m.mu.Unlock()
+	if err != nil || !built {
+		return nil, err
+	}
+	return m.ctrl.PlanOf(i), nil
+}
+
+// Routes returns the named pipeline's standing routing tables (nil before
+// the first allocation).
+func (m *MultiSystem) Routes(pipeline string) (*Routes, error) {
+	m.mu.Lock()
+	i, err := m.index(pipeline)
+	built := m.built
+	m.mu.Unlock()
+	if err != nil || !built {
+		return nil, err
+	}
+	return m.ctrl.RoutesOf(i), nil
+}
+
+// Grants returns the servers currently granted to each pipeline by the
+// joint allocator. The values sum to at most the pool size.
+func (m *MultiSystem) Grants() map[string]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int, len(m.tenants))
+	if !m.built {
+		for _, t := range m.tenants {
+			out[t.name] = 0
+		}
+		return out
+	}
+	g := m.ctrl.Grants()
+	for i, t := range m.tenants {
+		out[t.name] = g[i]
+	}
+	return out
+}
+
+// Report summarizes the named pipeline's run so far with the §6.1 metrics,
+// labeled with the pipeline name.
+func (m *MultiSystem) Report(pipeline string) (*Report, error) {
+	m.mu.Lock()
+	i, err := m.index(pipeline)
+	m.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return m.reportOf(i), nil
+}
+
+func (m *MultiSystem) reportOf(i int) *Report {
+	m.mu.Lock()
+	t := m.tenants[i]
+	built := m.built
+	eng := m.eng
+	m.mu.Unlock()
+	sum := t.col.Summarize()
+	var rerouted int64
+	if built {
+		rerouted = eng.Stats(i).Rerouted
+	}
+	r := summaryToReport(sum, rerouted)
+	r.Pipeline = t.name
+	r.Series = t.col.Series()
+	return r
+}
+
+// Reports returns every pipeline's Report, keyed by name.
+func (m *MultiSystem) Reports() map[string]*Report {
+	m.mu.Lock()
+	n := len(m.tenants)
+	m.mu.Unlock()
+	out := make(map[string]*Report, n)
+	for i := 0; i < n; i++ {
+		r := m.reportOf(i)
+		out[r.Pipeline] = r
+	}
+	return out
+}
+
+// AggregateReport merges every pipeline's metrics into one pool-wide Report
+// labeled "all": request counts sum; accuracy, violation ratio, and latency
+// are weighted across pipelines; the server columns add per-pipeline means
+// (the pipelines partition one pool, so the sums are the pool's activity).
+// Series is nil — per-pipeline time series stay on the per-pipeline
+// Reports, so mixed-tenant numbers are never silently summed.
+func (m *MultiSystem) AggregateReport() *Report {
+	m.mu.Lock()
+	tenants := append([]*msTenant(nil), m.tenants...)
+	built := m.built
+	eng := m.eng
+	m.mu.Unlock()
+	sums := make([]metrics.Summary, len(tenants))
+	var rerouted int64
+	for i, t := range tenants {
+		sums[i] = t.col.Summarize()
+		if built {
+			rerouted += eng.Stats(i).Rerouted
+		}
+	}
+	r := summaryToReport(metrics.Merge(sums...), rerouted)
+	r.Pipeline = "all"
+	return r
+}
+
+// summaryToReport maps a metrics summary (plus the engine's reroute count)
+// onto the public Report shape.
+func summaryToReport(sum metrics.Summary, rerouted int64) *Report {
+	return &Report{
+		Accuracy:          sum.MeanAccuracy,
+		SLOViolationRatio: sum.ViolationRatio,
+		MeanServers:       sum.MeanServers,
+		MinServers:        sum.MinServers,
+		MaxServers:        sum.MaxServers,
+		MeanLatency:       time.Duration(sum.MeanLatency * float64(time.Second)),
+		Arrivals:          int64(sum.Arrivals),
+		Completed:         int64(sum.Completed),
+		Late:              int64(sum.Late),
+		Dropped:           int64(sum.Dropped),
+		Rerouted:          rerouted,
+	}
+}
