@@ -14,12 +14,19 @@
 //	lokiexp -fig validate   # simulator-vs-prototype validation (§6.2)
 //	lokiexp -fig runtime    # Resource Manager / Load Balancer overhead (§6.5)
 //	lokiexp -fig all        # everything
+//
+// Performance work attaches pprof evidence with the profiling flags, e.g.
+//
+//	lokiexp -fig multitenant -cpuprofile cpu.prof -memprofile mem.prof
+//	go tool pprof -top cpu.prof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	goruntime "runtime"
+	"runtime/pprof"
 	"time"
 )
 
@@ -29,7 +36,38 @@ func main() {
 	servers := flag.Int("servers", 20, "cluster size")
 	sloMs := flag.Float64("slo", 250, "latency SLO in milliseconds")
 	quick := flag.Bool("quick", false, "smaller traces for a fast pass")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			goruntime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	run := func(name string, f func() error) {
 		fmt.Printf("==================== %s ====================\n", name)

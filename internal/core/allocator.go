@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"loki/internal/lp"
@@ -30,6 +31,22 @@ type AllocatorOptions struct {
 	// SolveTimeLimit bounds each MILP solve; zero means 5s. The solver is
 	// anytime, so hitting the limit degrades optimality, not correctness.
 	SolveTimeLimit time.Duration
+	// DisableReuse turns off the planner's cross-solve memory: the
+	// (demand, step) LP model memo and the warm-start seeds carried from
+	// one adaptation round to the next. Solves whose searches terminate
+	// deterministically (optimality proof or gap test) return identical
+	// plans either way — reuse only changes how fast they get there and
+	// which incumbent a time-limited search has in hand when truncated.
+	// The escape hatch exists for A/B measurement and for the public
+	// WithPlannerCache(false) option.
+	DisableReuse bool
+	// DisableStall turns off the wall-clock stall cutoff, letting every
+	// search run its full time budget. Solves whose natural duration falls
+	// between the stall arming delay (a quarter of SolveTimeLimit) and the
+	// limit itself are wall-clock sensitive with the cutoff on; offline
+	// experiment drivers that pick generous budgets precisely to get
+	// reproducible, exhaustive solves set this. Implied by DisableReuse.
+	DisableStall bool
 }
 
 // Allocator is the Resource Manager's optimization engine. It owns the
@@ -47,6 +64,11 @@ type Allocator struct {
 	sinkOf      []int     // canonical sink index per task (index into sinks)
 	sinks       []pipeline.TaskID
 	pathsBySink [][]int // path indices grouped by terminal sink
+
+	// state is the reusable solving machinery (model memo, warm starts,
+	// tableau workspace), shared with every Capped view. Its mutex makes
+	// the allocator safe for concurrent use.
+	state *solverState
 }
 
 // config is one deployable unit: a model variant at a fixed max batch size.
@@ -70,7 +92,7 @@ type cfgPath struct {
 
 // NewAllocator builds the configuration graph for the store's pipeline.
 func NewAllocator(meta *MetadataStore, opts AllocatorOptions) (*Allocator, error) {
-	a := &Allocator{Meta: meta, Opts: opts}
+	a := &Allocator{Meta: meta, Opts: opts, state: newSolverState()}
 	if opts.Servers <= 0 {
 		return nil, fmt.Errorf("core: allocator needs a positive cluster size, got %d", opts.Servers)
 	}
@@ -318,9 +340,11 @@ func (a *Allocator) Allocate(demand float64) (*Plan, error) {
 }
 
 // Capped returns a view of the allocator whose cluster size is bounded to
-// servers. The configuration graph and paths are shared (they depend only on
-// the SLO, not the cluster size), so the view is cheap and the solves it
-// runs are independent of the parent's. Multi-tenant arbitration uses it to
+// servers. The configuration graph, paths, and solving machinery are shared
+// (they depend only on the SLO, not the cluster size), so the view is cheap:
+// a capped solve reuses the parent's built LP model for the same demand and
+// step and only swaps the cluster-size row's right-hand side, rather than
+// rebuilding the whole formulation. Multi-tenant arbitration uses it to
 // re-solve a pipeline inside its granted partition of the shared pool.
 func (a *Allocator) Capped(servers int) *Allocator {
 	b := *a
@@ -466,13 +490,22 @@ const (
 	stepHardwareSat
 )
 
-// solveStep builds and solves one of the three MILPs. Variable layout:
+// solveStep solves one of the three MILPs against the memoized step model.
+// Variable layout:
 //
 //	[0, P)      c_p   continuous path flows
 //	[P]         f     served fraction (step 3 only; fixed 1 otherwise)
 //	[P+1, ...)  n_u   integer replica counts per used config
 func (a *Allocator) solveStep(demand float64, step stepKind) (*Plan, bool, error) {
-	useCfg, cfgVar, nvars, clusterRow, prob := a.buildLP(demand, step)
+	st := a.state
+	st.mu.Lock()
+	defer st.mu.Unlock()
+
+	bl := a.builtFor(demand, step)
+	useCfg, cfgVar, nvars, clusterRow, prob := bl.useCfg, bl.cfgVar, bl.nvars, bl.clusterRow, bl.prob
+	// The memoized model is shared across cluster-size caps (Capped views);
+	// only the cluster row's RHS differs between them, so swap it in.
+	prob.Cons[clusterRow].RHS = float64(a.Opts.Servers)
 
 	P := len(a.paths)
 	fVar := P
@@ -491,10 +524,17 @@ func (a *Allocator) solveStep(demand float64, step stepKind) (*Plan, bool, error
 		stats.Vars = nvars
 		stats.Constraints = len(prob.Cons)
 		plan.SolveStats = stats
+		// Every extracted point is integer-feasible for its model, which
+		// makes it the natural warm start for the next round's solve of
+		// the same step (it is re-verified against the new demand and cap
+		// before use).
+		if !a.Opts.DisableReuse {
+			st.lastX[step] = append([]float64(nil), x...)
+		}
 		return plan
 	}
 
-	relax, err := lp.Solve(prob)
+	relax, err := lp.SolveWS(prob, lp.Options{}, &st.ws)
 	if err != nil {
 		return nil, false, err
 	}
@@ -508,8 +548,10 @@ func (a *Allocator) solveStep(demand float64, step stepKind) (*Plan, bool, error
 	// a fitting rounded point is outright optimal; for step 1 it seeds the
 	// branch and bound with a strong incumbent.
 	var seed []float64
+	relaxX := []float64(nil)
 	if relax.Status == lp.Optimal {
-		x, total := ceilReplicas(relax.X, cfgVar)
+		relaxX = relax.X
+		x, total := ceilReplicas(relaxX, cfgVar)
 		if total <= a.Opts.Servers {
 			if step != stepHardware {
 				return mkPlan(x, SolveStats{Nodes: 1, LPIters: relax.Iters, Proven: true}), true, nil
@@ -520,11 +562,15 @@ func (a *Allocator) solveStep(demand float64, step stepKind) (*Plan, bool, error
 	if seed == nil && step != stepHardware {
 		// The rounded point overflows the cluster. Re-solve the relaxation
 		// with a tightened cluster budget until rounding fits — a fast,
-		// slightly conservative feasible point to seed the search.
-		tight := prob.Clone()
+		// slightly conservative feasible point to seed the search. The
+		// first iteration reuses the relaxation already solved above (the
+		// budget starts untightened, so it is the identical LP); later
+		// iterations swap the budget into the shared model's cluster row,
+		// which is restored before the branch-and-bound runs.
 		budget := float64(a.Opts.Servers)
+		x0 := relaxX
 		for iter := 0; iter < 6; iter++ {
-			x, total := ceilReplicas(relaxOrNil(tight), cfgVar)
+			x, total := ceilReplicas(x0, cfgVar)
 			if x == nil {
 				break
 			}
@@ -536,16 +582,43 @@ func (a *Allocator) solveStep(demand float64, step stepKind) (*Plan, bool, error
 			if budget < 0 {
 				break
 			}
-			tight.Cons[clusterRow].RHS = budget
+			prob.Cons[clusterRow].RHS = budget
+			x0 = a.relaxOrNil(prob)
 		}
+		prob.Cons[clusterRow].RHS = float64(a.Opts.Servers)
 	}
 
 	opts := milp.Options{
 		TimeLimit: a.Opts.SolveTimeLimit,
 		Incumbent: seed,
+		Workspace: &st.ws,
 	}
 	if opts.TimeLimit == 0 {
 		opts.TimeLimit = 2 * time.Second
+	}
+	// Warm-start the search from the previous round's solution of the same
+	// step: the variable layout per step is fixed, so the old point either
+	// verifies against the new demand and cap (and prunes the tree from
+	// node one) or is silently dropped.
+	if !a.Opts.DisableReuse {
+		if wx := st.lastX[step]; len(wx) == nvars {
+			opts.WarmStarts = [][]float64{wx}
+		}
+	}
+	// Stall cutoff: once a quarter of the budget is burned, a search whose
+	// best solution has not improved for ~a hundred nodes — and whose
+	// plateau spans at least half its explored tree — is returning
+	// diminishing bounds only; stop it and keep the incumbent (or fall
+	// through to the next regime) instead of burning the rest of the
+	// control period. Solves that finish inside the arming delay — all the
+	// reproducibility-sensitive ones — never reach it, and searches that
+	// keep improving are never cut however slow the host. DisableStall
+	// opts out explicitly, and DisableReuse turns the cutoff off with the
+	// rest of the fast path, so the escape hatch recovers the exhaustive
+	// (full-budget) solver exactly.
+	if !a.Opts.DisableReuse && !a.Opts.DisableStall {
+		opts.StallAfter = opts.TimeLimit / 4
+		opts.StallNodes = 96
 	}
 	if step == stepHardware {
 		// Minimize an integer count: bounds round to whole servers.
@@ -558,6 +631,7 @@ func (a *Allocator) solveStep(demand float64, step stepKind) (*Plan, bool, error
 		opts.RelGap = 0.01
 	}
 
+	st.milpSolves++
 	res, err := milp.SolveWithOptions(&milp.Problem{LP: prob, Integer: intMask}, opts)
 	if err != nil {
 		return nil, false, err
@@ -567,14 +641,15 @@ func (a *Allocator) solveStep(demand float64, step stepKind) (*Plan, bool, error
 		return nil, false, nil
 	case milp.Optimal, milp.Feasible:
 		return mkPlan(res.X, SolveStats{
-			Nodes: res.Nodes, LPIters: res.LPIters, Proven: res.Status == milp.Optimal,
+			Nodes: res.Nodes, LPIters: res.LPIters,
+			Proven: res.Status == milp.Optimal, Truncated: res.Truncated,
 		}), true, nil
 	default:
 		// Search budget exhausted without an incumbent. Fall back to the
 		// heuristic seed when we have one; otherwise report infeasible-for-
 		// this-step so Allocate falls through to the next regime.
 		if seed != nil {
-			return mkPlan(seed, SolveStats{Nodes: res.Nodes, LPIters: res.LPIters}), true, nil
+			return mkPlan(seed, SolveStats{Nodes: res.Nodes, LPIters: res.LPIters, Truncated: true}), true, nil
 		}
 		return nil, false, nil
 	}
@@ -597,8 +672,11 @@ func ceilReplicas(x []float64, cfgVar []int) ([]float64, int) {
 	return out, total
 }
 
-func relaxOrNil(p *lp.Problem) []float64 {
-	s, err := lp.Solve(p)
+// relaxOrNil solves the LP relaxation through the shared workspace,
+// returning its point (workspace-owned; valid until the next solve) or nil.
+// Callers hold a.state.mu.
+func (a *Allocator) relaxOrNil(p *lp.Problem) []float64 {
+	s, err := lp.SolveWS(p, lp.Options{}, &a.state.ws)
 	if err != nil || s.Status != lp.Optimal {
 		return nil
 	}
@@ -723,7 +801,27 @@ func (a *Allocator) buildLP(demand float64, step stepKind) (useCfg []bool, cfgVa
 			taskSinks[a.cfgs[ci].task][a.paths[pi].sink] = true
 		}
 	}
-	for k, perSink := range prefixSinks {
+	// Emit the consistency rows in a deterministic order (sorted prefix
+	// keys, then ascending sink): constraint row order decides simplex
+	// tie-breaks, and iterating the map directly would randomize which of
+	// several equally optimal vertices a solve returns from one model
+	// build to the next.
+	prefixKeys := make([]prefixKey, 0, len(prefixSinks))
+	for k := range prefixSinks {
+		prefixKeys = append(prefixKeys, k)
+	}
+	sort.Slice(prefixKeys, func(i, j int) bool {
+		a, b := prefixKeys[i], prefixKeys[j]
+		if a.hop != b.hop {
+			return a.hop < b.hop
+		}
+		if a.last != b.last {
+			return a.last < b.last
+		}
+		return a.key < b.key
+	})
+	for _, k := range prefixKeys {
+		perSink := prefixSinks[k]
 		reachable := taskSinks[a.cfgs[k.last].task]
 		if len(reachable) < 2 {
 			continue
@@ -735,8 +833,8 @@ func (a *Allocator) buildLP(demand float64, step stepKind) (useCfg []bool, cfgVa
 			}
 		}
 		refTerms := perSink[ref] // nil means flow 0 through this prefix
-		for s := range reachable {
-			if s == ref {
+		for s := 0; s < len(a.sinks); s++ {
+			if s == ref || !reachable[s] {
 				continue
 			}
 			terms := perSink[s]

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
 )
@@ -59,16 +60,29 @@ type Tenant struct {
 	// Publish delivers a new plan and routing tables to the serving engine.
 	Publish func(plan *Plan, routes *Routes)
 
+	// CacheDisabled turns the tenant's plan cache off: every solve call
+	// reaches the planner. The escape hatch behind the public
+	// WithPlannerCache(false) option.
+	CacheDisabled bool
+
 	// floorServers is the resolved per-tenant guarantee in whole servers,
 	// never below one replica slot per task.
 	floorServers int
 
-	cache     map[tenantPlanKey]*Plan
+	cache     map[tenantPlanKey]cachedPlan
 	plan      *Plan
 	routes    *Routes
 	planDmd   float64
 	grant     int
 	allocates int
+}
+
+// cachedPlan is one plan-cache entry plus the fine-granularity demand
+// bucket it was solved in, which gates reuse of truncated plans.
+type cachedPlan struct {
+	plan *Plan
+	// fineBucket is demandBucket(demand, legacyBucketRatio) at solve time.
+	fineBucket int
 }
 
 // tenantPlanKey caches plans per (quantized demand, server cap) pair: the
@@ -82,16 +96,37 @@ type tenantPlanKey struct {
 // single-pipeline code path and the joint desire pass).
 const uncappedServers = -1
 
-// solve runs the tenant's planner through its plan cache. cap ==
-// uncappedServers uses the planner's own Allocate; a non-negative cap
-// requires the CappedPlanner solve. Callers hold their controller's lock.
-func (t *Tenant) solve(demand float64, cap int) (*Plan, error) {
+// legacyBucketRatio is the single-pipeline plan-cache granularity (≈4%).
+// It predates the threshold-consistent quantization and is kept for the
+// single-tenant paths so their seeded runs stay bit-for-bit reproducible
+// against the recorded goldens.
+const legacyBucketRatio = 1.04
+
+// solve runs the tenant's planner through its plan cache, quantizing demand
+// at the given geometric ratio. cap == uncappedServers uses the planner's
+// own Allocate; a non-negative cap requires the CappedPlanner solve. When
+// CacheDisabled is set every call solves fresh. Safe for concurrent use
+// across distinct tenants (each tenant owns its cache); callers serialize
+// calls for the same tenant.
+func (t *Tenant) solve(demand float64, cap int, ratio float64) (*Plan, error) {
 	if t.cache == nil {
-		t.cache = map[tenantPlanKey]*Plan{}
+		t.cache = map[tenantPlanKey]cachedPlan{}
 	}
-	key := tenantPlanKey{bucket: demandBucket(demand), cap: cap}
-	if plan, ok := t.cache[key]; ok {
-		return plan, nil
+	key := tenantPlanKey{bucket: demandBucket(demand, ratio), cap: cap}
+	fine := demandBucket(demand, legacyBucketRatio)
+	if !t.CacheDisabled {
+		if e, ok := t.cache[key]; ok {
+			// A plan whose search was truncated by a resource limit is
+			// provisional: it is reused only within the fine legacy bucket
+			// it was solved in, so wide threshold-quantized buckets never
+			// pin a timing-degraded plan across a whole demand band — once
+			// demand drifts a few percent the solve is retried (warm-
+			// started from the provisional plan, so quality only ratchets
+			// up). Deterministically terminated plans get the full bucket.
+			if !e.plan.SolveStats.Truncated || e.fineBucket == fine {
+				return e.plan, nil
+			}
+		}
 	}
 	var plan *Plan
 	var err error
@@ -103,7 +138,9 @@ func (t *Tenant) solve(demand float64, cap int) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	t.cache[key] = plan
+	if !t.CacheDisabled {
+		t.cache[key] = cachedPlan{plan: plan, fineBucket: fine}
+	}
 	t.allocates++
 	return plan, nil
 }
@@ -140,6 +177,14 @@ type MultiController struct {
 	// Zero means 0.2.
 	ReallocateThreshold float64
 
+	// Sequential forces the per-tenant solves of each allocation round to
+	// run one after another instead of fanning out across goroutines. The
+	// grant split is deterministic either way (solves are independent and
+	// results are assembled in registration order); the escape hatch
+	// exists for debugging and for the public WithParallelPlanning(false)
+	// option.
+	Sequential bool
+
 	// OnGrants, when non-nil, observes every joint allocation: the step
 	// counter and the per-tenant server grants, in registration order. It
 	// is called with the controller lock held and must not call back in.
@@ -149,6 +194,26 @@ type MultiController struct {
 	pool    int
 	tenants []*Tenant
 	steps   int
+}
+
+// bucketRatio is the plan-cache quantization for this controller's tenants.
+// With a single tenant it is the fine legacy granularity (bit-compatible
+// with the recorded single-pipeline goldens). With several tenants sharing
+// the pool it widens to 1 + ReallocateThreshold, making the cache
+// consistent with the arbiter's own adaptation threshold: a demand the
+// controller would not consider "moved" on an unforced step maps to the
+// bucket of the plan already standing, so periodic forced re-allocations
+// stop re-solving MILPs for demand wiggles the control policy has declared
+// immaterial.
+func (m *MultiController) bucketRatio() float64 {
+	if len(m.tenants) == 1 {
+		return legacyBucketRatio
+	}
+	thr := m.ReallocateThreshold
+	if thr == 0 {
+		thr = 0.2
+	}
+	return 1 + thr
 }
 
 // NewMultiController validates the tenant set against the pool and wires
@@ -198,7 +263,7 @@ func NewMultiController(pool int, tenants []*Tenant) (*MultiController, error) {
 			floor = warm
 		}
 		t.floorServers = floor
-		t.cache = map[tenantPlanKey]*Plan{}
+		t.cache = map[tenantPlanKey]cachedPlan{}
 		minTotal += len(t.Meta.Graph().Tasks)
 		floorTotal += floor
 	}
@@ -262,19 +327,31 @@ func (m *MultiController) Step(force bool) error {
 	return nil
 }
 
-// allocateLocked is the capacity-splitting outer loop.
+// allocateLocked is the capacity-splitting outer loop. Both solve passes
+// fan out across tenants — each tenant's MILP is independent of the others'
+// — while the grant split between them stays deterministic: wants are
+// gathered at a barrier, split with the same largest-remainder arithmetic
+// as ever, and results are assembled in registration order.
 func (m *MultiController) allocateLocked(demands []float64) error {
+	ratio := m.bucketRatio()
+
 	// Desire pass: unconstrained solves at the planner's full cluster size
 	// (= the pool).
 	wants := make([]int, len(m.tenants))
 	plans := make([]*Plan, len(m.tenants))
-	total := 0
-	for i, t := range m.tenants {
-		plan, err := t.solve(demands[i], uncappedServers)
+	err := m.forEachTenant(func(i int, t *Tenant) error {
+		plan, err := t.solve(demands[i], uncappedServers, ratio)
 		if err != nil {
 			return fmt.Errorf("core: tenant %q allocation: %w", t.Name, err)
 		}
 		plans[i] = plan
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	total := 0
+	for i, plan := range plans {
 		wants[i] = plan.ServersUsed
 		total += plan.ServersUsed
 	}
@@ -282,15 +359,19 @@ func (m *MultiController) allocateLocked(demands []float64) error {
 	grants := append([]int(nil), wants...)
 	if total > m.pool {
 		grants = splitPool(m.pool, wants, m.tenants)
-		for i, t := range m.tenants {
+		err := m.forEachTenant(func(i int, t *Tenant) error {
 			if grants[i] >= wants[i] {
-				continue
+				return nil
 			}
-			plan, err := t.solve(demands[i], grants[i])
+			plan, err := t.solve(demands[i], grants[i], ratio)
 			if err != nil {
 				return fmt.Errorf("core: tenant %q capped allocation (%d servers): %w", t.Name, grants[i], err)
 			}
 			plans[i] = plan
+			return nil
+		})
+		if err != nil {
+			return err
 		}
 	}
 	for i, t := range m.tenants {
@@ -299,6 +380,47 @@ func (m *MultiController) allocateLocked(demands []float64) error {
 	}
 	if m.OnGrants != nil {
 		m.OnGrants(m.steps, append([]int(nil), grants...))
+	}
+	return nil
+}
+
+// forEachTenant runs fn once per tenant. Unless Sequential is set (or the
+// host has a single execution slot, where fanning out only adds scheduling
+// noise to wall-clock-budgeted solves), calls run concurrently on bounded
+// goroutines — one in flight per tenant, at most GOMAXPROCS at once. fn
+// receives a distinct tenant per call, so per-tenant state (plan cache,
+// allocator) needs no extra locking. The first error in registration order
+// wins.
+func (m *MultiController) forEachTenant(fn func(i int, t *Tenant) error) error {
+	limit := runtime.GOMAXPROCS(0)
+	if m.Sequential || limit <= 1 || len(m.tenants) <= 1 {
+		for i, t := range m.tenants {
+			if err := fn(i, t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if limit > len(m.tenants) {
+		limit = len(m.tenants)
+	}
+	sem := make(chan struct{}, limit)
+	errs := make([]error, len(m.tenants))
+	var wg sync.WaitGroup
+	for i, t := range m.tenants {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, t *Tenant) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = fn(i, t)
+		}(i, t)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
 	}
 	return nil
 }

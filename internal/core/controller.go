@@ -61,12 +61,16 @@ func (c *Controller) stateLocked() *Tenant {
 	return t
 }
 
-// demandBucket quantizes demand to ≈4% granularity for plan caching.
-func demandBucket(d float64) int {
+// demandBucket quantizes demand geometrically for plan caching: two demands
+// share a bucket when they differ by less than roughly ratio-1 (relative).
+// The single-pipeline controller uses the fine legacyBucketRatio; the
+// multi-tenant arbiter widens the buckets to its adaptation threshold — see
+// MultiController.bucketRatio.
+func demandBucket(d, ratio float64) int {
 	if d < 1 {
 		return 0
 	}
-	return int(math.Round(math.Log(d) / math.Log(1.04)))
+	return int(math.Round(math.Log(d) / math.Log(ratio)))
 }
 
 // Step runs one Resource Manager invocation: estimate demand, allocate
@@ -87,7 +91,7 @@ func (c *Controller) Step(force bool) error {
 		return nil
 	}
 
-	plan, err := t.solve(demand, uncappedServers)
+	plan, err := t.solve(demand, uncappedServers, legacyBucketRatio)
 	if err != nil {
 		return err
 	}

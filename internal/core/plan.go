@@ -103,6 +103,11 @@ type SolveStats struct {
 	Vars        int
 	Constraints int
 	Proven      bool // solved to proven optimality
+	// Truncated marks a plan whose search was cut by a resource limit
+	// (wall clock, node budget, stall) rather than ending deterministically.
+	// Such plans are timing-dependent; the tenant plan cache treats them as
+	// provisional and retries them at fine demand granularity.
+	Truncated bool
 }
 
 // Replicas returns the total replica count of the plan.

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"loki/internal/profiles"
+)
+
+// benchAllocator builds the traffic-analysis allocator the planner
+// benchmarks solve against.
+func benchAllocator(b *testing.B, disableReuse bool) *Allocator {
+	b.Helper()
+	g := profiles.TrafficTree()
+	prof := (&profiles.Profiler{}).ProfileGraph(g, profiles.Batches)
+	meta := NewMetadataStore(g, prof, 0.250, profiles.Batches)
+	a, err := NewAllocator(meta, AllocatorOptions{
+		Servers: 20, NetLatencySec: 0.002, KeepWarm: true,
+		Headroom: 0.30, SolveTimeLimit: 2 * time.Second,
+		DisableReuse: disableReuse,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a
+}
+
+// BenchmarkAllocate measures one uncapped Resource Manager solve over a
+// cycling demand walk — the desire-pass workload — with the planner's
+// cross-solve memory on (the default) and off.
+func BenchmarkAllocate(b *testing.B) {
+	demands := []float64{110, 230, 180, 320, 140, 280}
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"reuse", false}, {"cold", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			a := benchAllocator(b, mode.disable)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := a.Allocate(demands[i%len(demands)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAllocateCapped measures capped re-solves at a fixed demand over
+// cycling server budgets — the contention workload the arbiter generates —
+// which is where the (demand, step) model memo pays: only the cluster
+// row's RHS changes between iterations on the reuse path.
+func BenchmarkAllocateCapped(b *testing.B) {
+	caps := []int{12, 14, 10, 16, 13}
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"reuse", false}, {"cold", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			a := benchAllocator(b, mode.disable)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := a.AllocateCapped(210, caps[i%len(caps)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

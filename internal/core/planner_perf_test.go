@@ -1,0 +1,204 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"loki/internal/profiles"
+)
+
+// coldAllocator mirrors treeAllocator with the planner's cross-solve memory
+// disabled — the from-scratch reference the fast path is compared against.
+func coldTreeAllocator(t *testing.T, servers int) *Allocator {
+	t.Helper()
+	g := profiles.TrafficTree()
+	prof := (&profiles.Profiler{}).ProfileGraph(g, profiles.Batches)
+	meta := NewMetadataStore(g, prof, 0.250, profiles.Batches)
+	a, err := NewAllocator(meta, AllocatorOptions{
+		Servers: servers, NetLatencySec: 0.002, KeepWarm: true,
+		Headroom: 0.30, SolveTimeLimit: 30 * time.Second,
+		DisableReuse: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestCappedSolveReusesBuiltModel: a capped re-solve at the same demand must
+// reuse the desire pass's built LP model (only the cluster row's RHS
+// differs) instead of rebuilding the formulation.
+func TestCappedSolveReusesBuiltModel(t *testing.T) {
+	a := treeAllocator(t, 20, 0.250)
+	if _, err := a.Allocate(150); err != nil {
+		t.Fatal(err)
+	}
+	builds := a.Perf().ModelBuilds
+	if builds == 0 {
+		t.Fatal("expected at least one model build")
+	}
+	if _, err := a.AllocateCapped(150, 12); err != nil {
+		t.Fatal(err)
+	}
+	perf := a.Perf()
+	if perf.ModelReuses == 0 {
+		t.Fatalf("capped re-solve rebuilt the model: %+v", perf)
+	}
+}
+
+// TestReusePreservesPlans drives the warm/memoized allocator and a
+// from-scratch one through the same demand walk (all solves deterministic —
+// generous time limit) and requires identical plans throughout, including
+// capped re-solves. This is the allocator-level statement of the PR's
+// "reuse must not change any emitted plan" contract.
+func TestReusePreservesPlans(t *testing.T) {
+	g := profiles.TrafficTree()
+	prof := (&profiles.Profiler{}).ProfileGraph(g, profiles.Batches)
+	meta := NewMetadataStore(g, prof, 0.250, profiles.Batches)
+	fast, err := NewAllocator(meta, AllocatorOptions{
+		Servers: 20, NetLatencySec: 0.002, KeepWarm: true,
+		Headroom: 0.30, SolveTimeLimit: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := coldTreeAllocator(t, 20)
+
+	rng := rand.New(rand.NewSource(9))
+	demand := 120.0
+	for step := 0; step < 12; step++ {
+		demand = math.Max(20, demand*(0.85+rng.Float64()*0.4))
+		pf, err := fast.Allocate(demand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc, err := cold.Allocate(demand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comparePlans(t, "uncapped", demand, pf, pc)
+
+		cap := 8 + rng.Intn(8)
+		pf, err = fast.AllocateCapped(demand, cap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc, err = cold.AllocateCapped(demand, cap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comparePlans(t, "capped", demand, pf, pc)
+	}
+	if fast.Perf().ModelReuses == 0 {
+		t.Fatal("fast allocator never reused a model; the test is not exercising the reuse path")
+	}
+}
+
+// comparePlans requires two plans to describe the identical allocation
+// (solver-effort stats aside, which legitimately differ under reuse).
+func comparePlans(t *testing.T, what string, demand float64, a, b *Plan) {
+	t.Helper()
+	if a.Mode != b.Mode || a.ServersUsed != b.ServersUsed ||
+		a.ServedFraction != b.ServedFraction || a.ExpectedAccuracy != b.ExpectedAccuracy ||
+		!reflect.DeepEqual(a.Assignments, b.Assignments) || !reflect.DeepEqual(a.PathFlows, b.PathFlows) {
+		t.Fatalf("%s plan at demand %.1f diverged under reuse:\nfast: %+v\ncold: %+v", what, demand, a, b)
+	}
+}
+
+// TestDemandBucketConsistentWithThreshold pins the arbiter's cache
+// quantization to its adaptation threshold: demands the controller would
+// treat as "moved" (≥ threshold apart, relative) never share a cache
+// bucket, so coarser caching can only coalesce demand levels the control
+// policy already declared immaterial.
+func TestDemandBucketConsistentWithThreshold(t *testing.T) {
+	const thr = 0.2
+	ratio := 1 + thr
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 5000; trial++ {
+		d := 1 + rng.Float64()*2000
+		up := d * (1 + thr) // exactly at the threshold: moved() fires
+		if demandBucket(d, ratio) == demandBucket(up, ratio) {
+			t.Fatalf("demands %.3f and %.3f are %.0f%% apart (moved) but share bucket %d",
+				d, up, thr*100, demandBucket(d, ratio))
+		}
+		// And bucket-mates stay within the indifference band.
+		lo := math.Pow(ratio, float64(demandBucket(d, ratio))-0.5)
+		hi := math.Pow(ratio, float64(demandBucket(d, ratio))+0.5)
+		if hi/lo > ratio*(1+1e-9) {
+			t.Fatalf("bucket %d spans ratio %.4f > %.4f", demandBucket(d, ratio), hi/lo, ratio)
+		}
+	}
+	// The single-tenant paths keep the legacy fine granularity.
+	mc := &MultiController{tenants: []*Tenant{{}}}
+	if got := mc.bucketRatio(); got != legacyBucketRatio {
+		t.Fatalf("single-tenant bucket ratio = %v, want legacy %v", got, legacyBucketRatio)
+	}
+	mc2 := &MultiController{tenants: []*Tenant{{}, {}}}
+	if got := mc2.bucketRatio(); got != 1.2 {
+		t.Fatalf("multi-tenant bucket ratio = %v, want 1.2 (1 + default threshold)", got)
+	}
+	mc2.ReallocateThreshold = 0.1
+	if got := mc2.bucketRatio(); math.Abs(got-1.1) > 1e-12 {
+		t.Fatalf("multi-tenant bucket ratio = %v, want 1.1", got)
+	}
+}
+
+// TestParallelPlanningMatchesSequential drives two identical two-tenant
+// controllers — one fanning solves out across goroutines, one strictly
+// sequential — through the same contended demand walk and requires
+// identical grants and plans at every step. GOMAXPROCS is raised so the
+// parallel path really runs concurrently even on small CI hosts.
+func TestParallelPlanningMatchesSequential(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	build := func(sequential bool) *MultiController {
+		var tenants []*Tenant
+		for _, name := range []string{"chain-a", "chain-b"} {
+			g := profiles.TrafficChain()
+			prof := (&profiles.Profiler{Seed: 11}).ProfileGraph(g, profiles.Batches)
+			meta := NewMetadataStore(g, prof, 0.250, profiles.Batches)
+			alloc, err := NewAllocator(meta, AllocatorOptions{
+				Servers: 10, NetLatencySec: 0.002, KeepWarm: true,
+				Headroom: 0.30, SolveTimeLimit: 30 * time.Second,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tenants = append(tenants, &Tenant{Name: name, Meta: meta, Alloc: alloc})
+		}
+		mc, err := NewMultiController(10, tenants)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mc.Sequential = sequential
+		return mc
+	}
+	par := build(false)
+	seq := build(true)
+
+	rng := rand.New(rand.NewSource(4))
+	for step := 0; step < 8; step++ {
+		// Walk both controllers through identical demand observations,
+		// spiking tenant 0 so the pool contends and capped re-solves run.
+		d0 := 100 + rng.Float64()*500
+		d1 := 80 + rng.Float64()*300
+		for _, mc := range []*MultiController{par, seq} {
+			mc.tenants[0].Meta.ObserveDemand(d0)
+			mc.tenants[1].Meta.ObserveDemand(d1)
+			if err := mc.Step(true); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !reflect.DeepEqual(par.Grants(), seq.Grants()) {
+			t.Fatalf("step %d: grants diverged: parallel %v, sequential %v", step, par.Grants(), seq.Grants())
+		}
+		for i := range par.tenants {
+			comparePlans(t, par.tenants[i].Name, d0, par.PlanOf(i), seq.PlanOf(i))
+		}
+	}
+}

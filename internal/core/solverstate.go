@@ -1,0 +1,106 @@
+package core
+
+import (
+	"sync"
+
+	"loki/internal/lp"
+)
+
+// solverState is the Allocator's reusable solving machinery, shared between
+// an allocator and every Capped view derived from it (the views differ only
+// in the cluster-size bound, which is a single RHS value). It memoizes built
+// LP models per (demand, step) — the arbiter's capacity-splitting loop
+// solves the same demand under several server caps, and only the
+// cluster-size row's RHS differs between those solves — remembers the last
+// solution per optimization step as a warm start for the next adaptation
+// round, and recycles the LP tableau buffers across every solve.
+//
+// All access is serialized by mu, which makes an Allocator (and its capped
+// views) safe for concurrent use; the multi-tenant arbiter's parallel
+// per-tenant solves rely on tenants owning distinct allocators, so the lock
+// is uncontended on the hot path.
+type solverState struct {
+	mu    sync.Mutex
+	ws    lp.Workspace
+	built map[builtKey]*builtLP
+	lastX map[stepKind][]float64
+
+	milpSolves  int
+	modelBuilds int
+	modelReuses int
+}
+
+// builtKey identifies a built LP model: the exact demand (capacity-row
+// coefficients scale with it) and the optimization step (variable layout and
+// objective). The cluster-size bound is deliberately absent — it is swapped
+// on the shared model per solve.
+type builtKey struct {
+	demand float64
+	step   stepKind
+}
+
+// builtLP is one constructed step model plus the metadata needed to extract
+// plans from its solution vectors.
+type builtLP struct {
+	useCfg     []bool
+	cfgVar     []int
+	nvars      int
+	clusterRow int
+	prob       *lp.Problem
+}
+
+// maxBuiltModels bounds the model memo; demand levels churn continuously in
+// a serving system, so the map is cleared wholesale when full rather than
+// tracking recency.
+const maxBuiltModels = 64
+
+func newSolverState() *solverState {
+	return &solverState{
+		built: map[builtKey]*builtLP{},
+		lastX: map[stepKind][]float64{},
+	}
+}
+
+// SolverPerf aggregates the allocator's solver-level effort counters.
+type SolverPerf struct {
+	// MILPSolves counts branch-and-bound invocations.
+	MILPSolves int
+	// ModelBuilds and ModelReuses count LP model constructions and
+	// (demand, step) memo hits.
+	ModelBuilds, ModelReuses int
+}
+
+// Perf returns the allocator's accumulated solver effort counters.
+func (a *Allocator) Perf() SolverPerf {
+	st := a.state
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return SolverPerf{
+		MILPSolves:  st.milpSolves,
+		ModelBuilds: st.modelBuilds,
+		ModelReuses: st.modelReuses,
+	}
+}
+
+// builtFor returns the memoized model for (demand, step), building it on a
+// miss. Callers hold st.mu.
+func (a *Allocator) builtFor(demand float64, step stepKind) *builtLP {
+	st := a.state
+	key := builtKey{demand: demand, step: step}
+	if !a.Opts.DisableReuse {
+		if bl, ok := st.built[key]; ok {
+			st.modelReuses++
+			return bl
+		}
+	}
+	useCfg, cfgVar, nvars, clusterRow, prob := a.buildLP(demand, step)
+	bl := &builtLP{useCfg: useCfg, cfgVar: cfgVar, nvars: nvars, clusterRow: clusterRow, prob: prob}
+	st.modelBuilds++
+	if !a.Opts.DisableReuse {
+		if len(st.built) >= maxBuiltModels {
+			clear(st.built)
+		}
+		st.built[key] = bl
+	}
+	return bl
+}

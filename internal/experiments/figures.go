@@ -54,6 +54,7 @@ func Figure1(servers int, sloSec float64, steps int) (*Fig1Result, error) {
 	alloc, err := core.NewAllocator(meta, core.AllocatorOptions{
 		Servers: servers, NetLatencySec: 0.002, KeepWarm: true,
 		Headroom: 0.30, SolveTimeLimit: time.Second,
+		DisableStall: true, // capacity probes prefer exhaustive solves
 	})
 	if err != nil {
 		return nil, err
@@ -375,9 +376,12 @@ func Figure7(seed int64) ([]Fig7Row, error) {
 			// masks the no-early-dropping arm's cost.
 			QueueFactor: 8,
 			// The four arms differ by fractions of a percent; a roomy solve
-			// budget lets every MILP reach its incumbent regardless of
-			// machine load, keeping the comparison deterministic.
+			// budget (with the stall cutoff off, so no wall-clock boundary
+			// can cut a solve short under load) lets every MILP reach its
+			// incumbent regardless of machine speed, keeping the
+			// comparison deterministic.
 			SolveTimeLimit: 2 * time.Second,
+			DisableStall:   true,
 		})
 		if err != nil {
 			return nil, err

@@ -77,8 +77,13 @@ type RunConfig struct {
 	QueueFactor    float64 // per-worker queue cap multiplier (see cluster.Options)
 	MinAccuracy    float64 // floor on end-to-end path accuracy (0 = none)
 	SolveTimeLimit time.Duration
-	ProfileJitter  float64 // measurement noise in the Model Profiler
-	TimeScale      float64 // wall-time compression (Wallclock backend only)
+	// DisableStall turns off the planner's wall-clock stall cutoff so
+	// every MILP runs its full budget: the choice for experiments that
+	// pick a roomy SolveTimeLimit precisely so results do not depend on
+	// machine load.
+	DisableStall  bool
+	ProfileJitter float64 // measurement noise in the Model Profiler
+	TimeScale     float64 // wall-time compression (Wallclock backend only)
 }
 
 func (cfg *RunConfig) defaults() {
@@ -203,6 +208,7 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		Headroom:        cfg.Headroom,
 		MinPathAccuracy: cfg.MinAccuracy,
 		SolveTimeLimit:  cfg.SolveTimeLimit,
+		DisableStall:    cfg.DisableStall,
 	}
 	planner, proteus, err := NewPlanner(cfg.Approach, meta, aopts)
 	if err != nil {

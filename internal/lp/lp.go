@@ -163,6 +163,16 @@ func Solve(p *Problem) (*Solution, error) {
 
 // SolveWithOptions solves the problem.
 func SolveWithOptions(p *Problem, opt Options) (*Solution, error) {
+	return SolveWS(p, opt, nil)
+}
+
+// SolveWS solves the problem using the given Workspace for the tableau's
+// working state. It runs the exact same pivot sequence as SolveWithOptions —
+// the workspace only recycles buffers — so results are bit-identical. When
+// ws is non-nil the returned Solution's X slice is owned by the workspace
+// and is only valid until the next solve through it; callers that keep the
+// point must copy it. A nil ws allocates fresh buffers (and a fresh X).
+func SolveWS(p *Problem, opt Options, ws *Workspace) (*Solution, error) {
 	if err := validate(p); err != nil {
 		return nil, err
 	}
@@ -171,7 +181,7 @@ func SolveWithOptions(p *Problem, opt Options) (*Solution, error) {
 		tol = defaultTol
 	}
 
-	t := newTableau(p, tol)
+	t := newTableau(p, tol, ws)
 	maxIter := opt.MaxIter
 	if maxIter == 0 {
 		maxIter = 200*(t.m+t.ncols) + 2000
@@ -200,7 +210,12 @@ func SolveWithOptions(p *Problem, opt Options) (*Solution, error) {
 		return &Solution{Status: Unbounded, Iters: t.iters}, nil
 	}
 
-	x := make([]float64, p.NumVars)
+	var x []float64
+	if ws != nil {
+		x = ws.solution(p.NumVars)
+	} else {
+		x = make([]float64, p.NumVars)
+	}
 	for i, bv := range t.basis {
 		if bv < p.NumVars {
 			x[bv] = t.rhs[i]

@@ -39,18 +39,26 @@ const (
 	iterLimit
 )
 
-func newTableau(p *Problem, tol float64) *tableau {
+// rowInfo records how a constraint row is normalized into the tableau: its
+// effective sense after flipping rows with negative RHS.
+type rowInfo struct {
+	sense Sense
+	neg   bool
+}
+
+func newTableau(p *Problem, tol float64, ws *Workspace) *tableau {
 	m := len(p.Cons)
 	n := p.NumVars
 
 	// Count auxiliary columns. Every LE/GE row gets one slack/surplus;
 	// every GE/EQ row gets one artificial. Rows are normalized so RHS ≥ 0
 	// first, which may flip the sense.
-	type rowInfo struct {
-		sense Sense
-		neg   bool
+	var info []rowInfo
+	if ws != nil {
+		info = ws.rowInfos(m)
+	} else {
+		info = make([]rowInfo, m)
 	}
-	info := make([]rowInfo, m)
 	nslack, nart := 0, 0
 	for i, c := range p.Cons {
 		s := c.Sense
@@ -78,14 +86,19 @@ func newTableau(p *Problem, tol float64) *tableau {
 		nslack:   nslack,
 		nart:     nart,
 		ncols:    n + nslack + nart,
-		rows:     make([][]float64, m),
-		rhs:      make([]float64, m),
-		basis:    make([]int, m),
-		obj:      nil,
 		tol:      tol,
 		artStart: n + nslack,
 	}
-	flat := make([]float64, m*t.ncols)
+	var flat []float64
+	if ws != nil {
+		flat, t.rows, t.rhs, t.basis, t.obj = ws.grow(m, t.ncols, n)
+	} else {
+		flat = make([]float64, m*t.ncols)
+		t.rows = make([][]float64, m)
+		t.rhs = make([]float64, m)
+		t.basis = make([]int, m)
+		t.obj = make([]float64, t.ncols)
+	}
 	for i := range t.rows {
 		t.rows[i] = flat[i*t.ncols : (i+1)*t.ncols]
 	}
@@ -122,7 +135,6 @@ func newTableau(p *Problem, tol float64) *tableau {
 
 	// Phase-1 objective: minimize the sum of artificials. Price out the
 	// initially-basic artificials: obj_j = -Σ_{rows with artificial basic} row_j.
-	t.obj = make([]float64, t.ncols)
 	for j := t.artStart; j < t.ncols; j++ {
 		t.obj[j] = 1
 	}
@@ -273,10 +285,16 @@ func (t *tableau) chooseLeaving(col int) int {
 }
 
 // pivot makes column col basic in row prow.
+//
+// The inner loops skip zero entries of the pivot row: subtracting f*0 leaves
+// every value bit-identical (only the sign of a zero could differ, which no
+// comparison or pivot choice observes), and the tableau stays sparse enough
+// through phase 1 that the skip roughly halves the work of the hottest loop
+// in the solver.
 func (t *tableau) pivot(prow, col int) {
 	prowData := t.rows[prow]
 	inv := 1 / prowData[col]
-	for j := 0; j < t.ncols; j++ {
+	for j := range prowData {
 		prowData[j] *= inv
 	}
 	prowData[col] = 1 // exact
@@ -290,9 +308,11 @@ func (t *tableau) pivot(prow, col int) {
 		if f == 0 {
 			continue
 		}
-		row := t.rows[i]
-		for j := 0; j < t.ncols; j++ {
-			row[j] -= f * prowData[j]
+		row := t.rows[i][:len(prowData)]
+		for j, pv := range prowData {
+			if pv != 0 {
+				row[j] -= f * pv
+			}
 		}
 		row[col] = 0 // exact
 		t.rhs[i] -= f * t.rhs[prow]
@@ -302,10 +322,13 @@ func (t *tableau) pivot(prow, col int) {
 	}
 	f := t.obj[col]
 	if f != 0 {
-		for j := 0; j < t.ncols; j++ {
-			t.obj[j] -= f * prowData[j]
+		obj := t.obj[:len(prowData)]
+		for j, pv := range prowData {
+			if pv != 0 {
+				obj[j] -= f * pv
+			}
 		}
-		t.obj[col] = 0
+		obj[col] = 0
 		t.objShif -= f * t.rhs[prow]
 	}
 	t.basis[prow] = col

@@ -1,0 +1,71 @@
+package lp
+
+// Workspace holds the reusable buffers of a tableau so that repeated solves
+// (the MILP layer solves one LP relaxation per branch-and-bound node) do not
+// re-allocate the dense working state every time. The zero value is ready to
+// use; buffers grow to the high-water mark of the problems solved through it
+// and are then reused.
+//
+// A Workspace may be reused across problems of different shapes but must not
+// be shared by concurrent solves.
+type Workspace struct {
+	flat  []float64
+	rows  [][]float64
+	rhs   []float64
+	basis []int
+	obj   []float64
+	info  []rowInfo
+	sol   []float64
+}
+
+// grow returns buffers sized for m rows and ncols columns, zeroing exactly
+// the region a fresh allocation would have zeroed.
+func (w *Workspace) grow(m, ncols, nvars int) (flat []float64, rows [][]float64, rhs []float64, basis []int, obj []float64) {
+	need := m * ncols
+	if cap(w.flat) < need {
+		w.flat = make([]float64, need)
+	} else {
+		w.flat = w.flat[:need]
+		clear(w.flat)
+	}
+	if cap(w.rows) < m {
+		w.rows = make([][]float64, m)
+	} else {
+		w.rows = w.rows[:m]
+	}
+	if cap(w.rhs) < m {
+		w.rhs = make([]float64, m)
+		w.basis = make([]int, m)
+	} else {
+		w.rhs = w.rhs[:m]
+		clear(w.rhs)
+		w.basis = w.basis[:m]
+	}
+	if cap(w.obj) < ncols {
+		w.obj = make([]float64, ncols)
+	} else {
+		w.obj = w.obj[:ncols]
+		clear(w.obj)
+	}
+	return w.flat, w.rows, w.rhs, w.basis, w.obj
+}
+
+// rowInfos returns a scratch slice for per-row sense normalization.
+func (w *Workspace) rowInfos(m int) []rowInfo {
+	if cap(w.info) < m {
+		w.info = make([]rowInfo, m)
+	}
+	return w.info[:m]
+}
+
+// solution returns a zeroed primal-solution buffer of length n. The buffer
+// is owned by the Workspace: it is only valid until the next solve through
+// the same Workspace, so callers that keep a solution must copy X.
+func (w *Workspace) solution(n int) []float64 {
+	if cap(w.sol) < n {
+		w.sol = make([]float64, n)
+	}
+	s := w.sol[:n]
+	clear(s)
+	return s
+}

@@ -1,0 +1,121 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomProblem builds a feasible-ish random LP with mixed senses.
+func randomProblem(rng *rand.Rand, n, m int) *Problem {
+	p := NewProblem(n)
+	p.Maximize = rng.Intn(2) == 0
+	for j := 0; j < n; j++ {
+		p.Obj[j] = rng.Float64()*4 - 2
+	}
+	for i := 0; i < m; i++ {
+		terms := make([]Term, 0, 3)
+		for k := 0; k < 3; k++ {
+			terms = append(terms, Term{Var: rng.Intn(n), Coef: rng.Float64()*2 - 0.5})
+		}
+		sense := Sense(rng.Intn(3))
+		rhs := rng.Float64() * 10
+		if sense == GE {
+			rhs = rng.Float64() // keep GE rows satisfiable
+		}
+		p.AddConstraint(terms, sense, rhs)
+	}
+	// A box keeps everything bounded so maximization cannot run away.
+	for j := 0; j < n; j++ {
+		p.AddConstraint([]Term{{Var: j, Coef: 1}}, LE, 50)
+	}
+	return p
+}
+
+// TestWorkspaceSolvesBitIdentical checks that solving through a shared
+// Workspace — including a workspace previously used on differently-shaped
+// problems — reproduces the fresh-allocation solver bit for bit: same
+// status, same pivots, same objective, same primal point.
+func TestWorkspaceSolvesBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ws := &Workspace{}
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(10)
+		m := 1 + rng.Intn(8)
+		p := randomProblem(rng, n, m)
+
+		fresh, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reused, err := SolveWS(p, Options{}, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fresh.Status != reused.Status || fresh.Iters != reused.Iters {
+			t.Fatalf("trial %d: status/iters diverged: fresh %v/%d, ws %v/%d",
+				trial, fresh.Status, fresh.Iters, reused.Status, reused.Iters)
+		}
+		if fresh.Status != Optimal {
+			continue
+		}
+		if fresh.Objective != reused.Objective {
+			t.Fatalf("trial %d: objective diverged: %v vs %v", trial, fresh.Objective, reused.Objective)
+		}
+		for j := range fresh.X {
+			if fresh.X[j] != reused.X[j] {
+				t.Fatalf("trial %d: x[%d] diverged: %v vs %v", trial, j, fresh.X[j], reused.X[j])
+			}
+		}
+	}
+}
+
+// TestWorkspaceSolutionIsOwned documents the aliasing contract: the X of a
+// workspace solve is only valid until the next solve through the same
+// workspace.
+func TestWorkspaceSolutionIsOwned(t *testing.T) {
+	p := NewProblem(1)
+	p.Maximize = true
+	p.Obj = []float64{1}
+	p.AddConstraint([]Term{{Var: 0, Coef: 1}}, LE, 3)
+
+	ws := &Workspace{}
+	s1, err := SolveWS(p, Options{}, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := append([]float64(nil), s1.X...)
+
+	q := NewProblem(1)
+	q.Maximize = true
+	q.Obj = []float64{1}
+	q.AddConstraint([]Term{{Var: 0, Coef: 1}}, LE, 7)
+	if _, err := SolveWS(q, Options{}, ws); err != nil {
+		t.Fatal(err)
+	}
+	if keep[0] != 3 {
+		t.Fatalf("copied solution changed: %v", keep)
+	}
+	if s1.X[0] == 3 {
+		t.Fatalf("expected s1.X to be clobbered by the second solve (got %v); the ownership contract is load-bearing", s1.X)
+	}
+}
+
+// TestWorkspaceSteadyStateAllocs checks the point of the workspace: repeat
+// solves of the same problem shape allocate almost nothing (only the
+// Solution header).
+func TestWorkspaceSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := randomProblem(rng, 12, 8)
+	ws := &Workspace{}
+	if _, err := SolveWS(p, Options{}, ws); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := SolveWS(p, Options{}, ws); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 4 {
+		t.Fatalf("steady-state solve allocates %v objects per run, want ≤ 4", allocs)
+	}
+}

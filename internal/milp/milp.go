@@ -87,6 +87,42 @@ type Options struct {
 	// Incumbent optionally seeds the search with a known integer-feasible
 	// point (e.g. from a greedy heuristic). It is verified before use.
 	Incumbent []float64
+	// WarmStarts optionally seeds the search with integer-feasible points
+	// remembered from related, earlier solves (e.g. the previous adaptation
+	// round's plan). Every candidate is verified against the current
+	// problem — a point that violates a tightened constraint is silently
+	// dropped. On proof-seeking searches (RelGap and AbsGap both zero) the
+	// best feasible candidate becomes a pruning floor from the very first
+	// node; it never displaces an equally good solution found by the
+	// search itself and never participates in the termination tests, so a
+	// proof-terminated run returns a bit-identical result with or without
+	// warm starts. Gap-tolerant searches explore exactly as a cold solve
+	// would (no floor pruning — it would shift the bounds the gap tests
+	// observe); there the warm start acts purely as an incumbent fallback:
+	// it is returned only when it strictly beats whatever the search found
+	// before stopping, which on a gap-terminated run means an improvement
+	// inside the gap tolerance and on a truncated run (time, nodes, stall)
+	// can mean rescuing a search that found nothing at all.
+	WarmStarts [][]float64
+	// StallNodes, together with StallAfter, bounds unproductive tail
+	// exploration on hard instances: once StallAfter wall-clock time has
+	// elapsed, the search stops as soon as StallNodes consecutive nodes —
+	// and at least half of all explored nodes, so a steadily improving
+	// search is never cut however slow the host — have been explored
+	// without improving the best known solution (search-found or warm
+	// start), returning it as Feasible. Zero disables stalling. A search
+	// that reaches its deterministic end before StallAfter elapses is
+	// unaffected, which keeps fast solves reproducible; only searches
+	// already deep into their wall-clock budget — whose outcome is
+	// timing-dependent anyway — stop early.
+	StallNodes int
+	// StallAfter is the wall-clock delay before StallNodes arms.
+	StallAfter time.Duration
+	// Workspace optionally supplies a reusable LP workspace for the node
+	// relaxations, letting a caller that solves many MILPs share one set
+	// of tableau buffers. Nil makes the search use a private workspace
+	// (per-node allocations are avoided either way).
+	Workspace *lp.Workspace
 	// LPOptions is passed through to the LP solver at every node.
 	LPOptions lp.Options
 }
@@ -99,6 +135,12 @@ type Result struct {
 	BestBound float64   // proven bound on the optimum
 	Nodes     int       // branch-and-bound nodes explored
 	LPIters   int       // total simplex pivots across all nodes
+	// Truncated reports that a resource limit (wall clock, node budget,
+	// stall cutoff) stopped the search, as opposed to a deterministic end
+	// (optimality proof or gap test). Truncated results are
+	// timing-dependent; callers that memoize solutions should treat them
+	// as provisional.
+	Truncated bool
 }
 
 // Gap returns the relative optimality gap of the result, 0 for a proven
@@ -183,12 +225,23 @@ func SolveWithOptions(p *Problem, opt Options) (*Result, error) {
 		p:      p,
 		intTol: intTol,
 		lpOpt:  opt.LPOptions,
+		ws:     opt.Workspace,
 		// Normalize to maximization internally.
 		sign: 1.0,
 	}
 	if !p.LP.Maximize {
 		s.sign = -1.0
 	}
+	if s.ws == nil {
+		s.ws = &lp.Workspace{}
+	}
+	// Shared node model: the base constraint rows are copied once and every
+	// node appends its branching-bound rows behind them, truncating back
+	// after the relaxation solve. This replaces the per-node Problem.Clone
+	// (and the per-node tableau allocation, via the workspace) that
+	// dominated the solver's allocation profile.
+	s.cons = append(make([]lp.Constraint, 0, len(p.LP.Cons)+16), p.LP.Cons...)
+	s.nodeProb = lp.Problem{NumVars: p.LP.NumVars, Maximize: p.LP.Maximize, Obj: p.LP.Obj}
 
 	res := &Result{Status: NoSolution, BestBound: math.Inf(1)}
 
@@ -201,6 +254,28 @@ func SolveWithOptions(p *Problem, opt Options) (*Result, error) {
 		}
 	}
 
+	// Warm starts prune but never displace an equally good search result.
+	warmVal := math.Inf(-1)
+	var warmX []float64
+	for _, cand := range opt.WarmStarts {
+		if v, ok := s.checkFeasible(cand); ok && v > warmVal {
+			warmVal = v
+			warmX = append([]float64(nil), cand...)
+		}
+	}
+	pruneFloor := math.Inf(-1)
+	if warmX != nil && opt.RelGap == 0 && opt.AbsGap == 0 {
+		// Floor pruning applies only to proof-seeking searches, and
+		// strictly below the warm value: nodes whose bound ties the warm
+		// start stay open so the search can find its own equally good
+		// incumbent, keeping proof-terminated runs bit-identical to a cold
+		// solve. Gap-tolerant searches skip the floor entirely — pruning
+		// would shift which bounds the gap tests observe and so change
+		// where a cold-identical search stops — and use the warm start
+		// only as an end-of-search incumbent fallback.
+		pruneFloor = warmVal - 1e-7*math.Max(1, math.Abs(warmVal))
+	}
+
 	root := &node{branch: -1}
 	sol, err := s.solveNode(root)
 	if err != nil {
@@ -209,11 +284,9 @@ func SolveWithOptions(p *Problem, opt Options) (*Result, error) {
 	res.LPIters += sol.Iters
 	switch sol.Status {
 	case lp.Infeasible:
-		if incumbentX != nil {
-			// The seed incumbent passed feasibility but the relaxation is
-			// infeasible — numerically impossible; trust the relaxation.
-			return &Result{Status: Infeasible, Nodes: 1, LPIters: res.LPIters}, nil
-		}
+		// A warm start or seed that passed the feasibility check while the
+		// relaxation is infeasible would be numerically contradictory;
+		// trust the relaxation.
 		return &Result{Status: Infeasible, Nodes: 1, LPIters: res.LPIters}, nil
 	case lp.Unbounded:
 		return &Result{Status: Unbounded, Nodes: 1, LPIters: res.LPIters}, nil
@@ -228,14 +301,42 @@ func SolveWithOptions(p *Problem, opt Options) (*Result, error) {
 	nodes := 0
 	provenOptimal := true
 
+	// Stall tracking: bestKnown is the best returnable value (search
+	// incumbent or warm start); lastImprove the node count when it last
+	// rose. The stall cutoff arms only after StallAfter wall-clock time.
+	start := time.Now()
+	bestKnown := math.Max(incumbentVal, warmVal)
+	lastImprove := 0
+	stallArmed := false
+
 	for len(h) > 0 {
 		if nodes >= maxNodes || (!deadline.IsZero() && time.Now().After(deadline)) {
 			provenOptimal = false
+			res.Truncated = true
 			break
 		}
+		// Stall cutoff: past the arming delay, a search that has explored
+		// StallNodes nodes without improving its best solution — and whose
+		// plateau dominates its whole history (≥ half of all explored
+		// nodes, so steadily-improving searches are never cut no matter
+		// how slow the host) — is spending the rest of its budget on
+		// bound-tightening only; stop it. With no incumbent at all the
+		// same plateau means the step is (near-)integer-infeasible, and
+		// stopping lets the caller fall through to its next regime instead
+		// of burning the whole control period.
+		if opt.StallNodes > 0 && nodes-lastImprove >= opt.StallNodes && nodes-lastImprove >= nodes/2 {
+			if !stallArmed && time.Since(start) >= opt.StallAfter {
+				stallArmed = true
+			}
+			if stallArmed {
+				provenOptimal = false
+				res.Truncated = true
+				break
+			}
+		}
 		nd := heap.Pop(&h).(*node)
-		if nd.bound <= incumbentVal+opt.AbsGap+1e-9 {
-			continue // pruned by bound
+		if nd.bound <= math.Max(incumbentVal, pruneFloor)+opt.AbsGap+1e-9 {
+			continue // pruned by bound (or by the warm-start floor)
 		}
 		if opt.RelGap > 0 && incumbentX != nil {
 			denom := math.Max(math.Abs(incumbentVal), 1e-12)
@@ -273,7 +374,7 @@ func SolveWithOptions(p *Problem, opt Options) (*Result, error) {
 			// achievable value below this relaxation bound is its floor.
 			bound = math.Floor(bound + 1e-6)
 		}
-		if bound <= incumbentVal+opt.AbsGap+1e-9 {
+		if bound <= math.Max(incumbentVal, pruneFloor)+opt.AbsGap+1e-9 {
 			continue
 		}
 
@@ -283,6 +384,10 @@ func SolveWithOptions(p *Problem, opt Options) (*Result, error) {
 			if bound > incumbentVal {
 				incumbentVal = bound
 				incumbentX = roundIntegral(sol.X, p.Integer)
+				if incumbentVal > bestKnown {
+					bestKnown = incumbentVal
+					lastImprove = nodes
+				}
 			}
 			continue
 		}
@@ -311,6 +416,18 @@ func SolveWithOptions(p *Problem, opt Options) (*Result, error) {
 		up := &node{parent: nd, branch: frac, lo: lo + 1, hi: math.Inf(1), depth: nd.depth + 1, bound: bound, order: order}
 		heap.Push(&h, up) // explore the round-up branch first (dives toward capacity)
 		heap.Push(&h, down)
+	}
+
+	// A warm start strictly better than anything the search found is the
+	// returnable incumbent; ties prefer the search's own solution so that
+	// proof-terminated runs match a cold solve bit for bit. (A search that
+	// runs to proof always rediscovers a value at least as good as the warm
+	// start — its subtree is never pruned — so on proof-terminated runs
+	// this replacement never fires; it surfaces from truncated runs and,
+	// within the gap tolerance, from gap-terminated ones.)
+	if warmX != nil && (incumbentX == nil || warmVal > incumbentVal) {
+		incumbentX = warmX
+		incumbentVal = warmVal
 	}
 
 	// Best remaining bound over open nodes.
@@ -348,34 +465,75 @@ type search struct {
 	intTol float64
 	lpOpt  lp.Options
 	sign   float64 // +1 maximize, -1 minimize (normalizes bounds)
+
+	// Shared node model: cons holds the base rows once, each node appends
+	// its bound rows behind them and truncates back after the solve, and
+	// ws recycles the tableau buffers — no per-node model or tableau
+	// allocations.
+	ws       *lp.Workspace
+	cons     []lp.Constraint
+	nodeProb lp.Problem
+	bvars    []varBound
+	terms    []lp.Term
 }
 
-// solveNode materializes the node's bound chain as extra LP rows and solves
-// the relaxation.
+// varBound is one collapsed branching interval lo ≤ x_v ≤ hi.
+type varBound struct {
+	v      int
+	lo, hi float64
+}
+
+// solveNode materializes the node's bound chain as extra rows on the shared
+// model and solves the relaxation. Bound rows are emitted in ascending
+// variable order (lower bounds first), so the row layout — and therefore the
+// pivot sequence — is deterministic for a given node.
 func (s *search) solveNode(nd *node) (*lp.Solution, error) {
 	// Collapse the bound chain: the tightest interval per variable wins.
-	lo := map[int]float64{}
-	hi := map[int]float64{}
+	s.bvars = s.bvars[:0]
 	for n := nd; n != nil && n.branch >= 0; n = n.parent {
-		if v, ok := lo[n.branch]; !ok || n.lo > v {
-			lo[n.branch] = n.lo
+		at := -1
+		for i := range s.bvars {
+			if s.bvars[i].v == n.branch {
+				at = i
+				break
+			}
 		}
-		if v, ok := hi[n.branch]; !ok || n.hi < v {
-			hi[n.branch] = n.hi
+		if at < 0 {
+			at = len(s.bvars)
+			s.bvars = append(s.bvars, varBound{v: n.branch, lo: n.lo, hi: n.hi})
+			for at > 0 && s.bvars[at-1].v > s.bvars[at].v {
+				s.bvars[at-1], s.bvars[at] = s.bvars[at], s.bvars[at-1]
+				at--
+			}
+			continue
+		}
+		if n.lo > s.bvars[at].lo {
+			s.bvars[at].lo = n.lo
+		}
+		if n.hi < s.bvars[at].hi {
+			s.bvars[at].hi = n.hi
 		}
 	}
-	q := s.p.LP.Clone()
-	for v, b := range lo {
-		if b > 0 {
-			q.AddConstraint([]lp.Term{{Var: v, Coef: 1}}, lp.GE, b)
+
+	s.cons = s.cons[:len(s.p.LP.Cons)]
+	if need := 2 * len(s.bvars); cap(s.terms) < need {
+		s.terms = make([]lp.Term, 0, need+16)
+	}
+	s.terms = s.terms[:0]
+	for _, b := range s.bvars {
+		if b.lo > 0 {
+			s.terms = append(s.terms, lp.Term{Var: b.v, Coef: 1})
+			s.cons = append(s.cons, lp.Constraint{Terms: s.terms[len(s.terms)-1 : len(s.terms)], Sense: lp.GE, RHS: b.lo})
 		}
 	}
-	for v, b := range hi {
-		if !math.IsInf(b, 1) {
-			q.AddConstraint([]lp.Term{{Var: v, Coef: 1}}, lp.LE, b)
+	for _, b := range s.bvars {
+		if !math.IsInf(b.hi, 1) {
+			s.terms = append(s.terms, lp.Term{Var: b.v, Coef: 1})
+			s.cons = append(s.cons, lp.Constraint{Terms: s.terms[len(s.terms)-1 : len(s.terms)], Sense: lp.LE, RHS: b.hi})
 		}
 	}
-	return lp.SolveWithOptions(q, s.lpOpt)
+	s.nodeProb.Cons = s.cons
+	return lp.SolveWS(&s.nodeProb, s.lpOpt, s.ws)
 }
 
 // mostFractional returns the integer variable whose relaxation value is

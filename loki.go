@@ -168,6 +168,10 @@ type config struct {
 	minAcc     float64
 	engine     EngineKind
 	timeScale  float64
+	// Zero values mean "on": the fast planning path is the default and
+	// these record the escape hatches.
+	plannerCacheOff     bool
+	parallelPlanningOff bool
 }
 
 // headroomOrDefault returns the configured over-provisioning factor, falling
@@ -240,6 +244,31 @@ func WithExecutionJitter(j float64) Option { return func(c *config) { c.jitter =
 // bounds how far accuracy scaling may go). Demand beyond the floored
 // capacity is shed instead.
 func WithMinAccuracy(a float64) Option { return func(c *config) { c.minAcc = a } }
+
+// WithPlannerCache toggles the Resource Manager's fast planning path
+// (default on): the per-pipeline plan cache over quantized demand levels,
+// the memoized LP models that capped re-solves share with the desire pass,
+// the warm-start seeds carried from one adaptation round to the next, and
+// the stall cutoff on wall-clock-budgeted searches. Proof-terminated
+// solves return identical plans either way; gap-terminated solves follow
+// the identical search and may only be upgraded, within the gap tolerance,
+// by a verified warm start; wall-clock-truncated solves are anytime and
+// timing-dependent in both modes. WithPlannerCache(false) is the
+// from-scratch, full-budget escape hatch for measurement and debugging.
+func WithPlannerCache(on bool) Option {
+	return func(c *config) { c.plannerCacheOff = !on }
+}
+
+// WithParallelPlanning toggles the multi-tenant arbiter's per-tenant solve
+// fan-out (default on): each adaptation round's desire pass and capped
+// re-solves run on bounded goroutines (at most GOMAXPROCS in flight), since
+// every pipeline's MILP is independent. The grant split across pipelines is
+// deterministic either way — wants are gathered at a barrier and split with
+// the same arithmetic. Single-pipeline systems have nothing to fan out;
+// WithParallelPlanning(false) forces strictly sequential solves.
+func WithParallelPlanning(on bool) Option {
+	return func(c *config) { c.parallelPlanningOff = !on }
+}
 
 // Report is the outcome of a serving run.
 type Report struct {
@@ -325,6 +354,7 @@ func metaAndOpts(p *Pipeline, c config) (*core.MetadataStore, core.AllocatorOpti
 		Headroom:        c.headroomOrDefault(),
 		MinPathAccuracy: c.minAcc,
 		SolveTimeLimit:  c.solveLimit,
+		DisableReuse:    c.plannerCacheOff,
 	}
 }
 

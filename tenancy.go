@@ -231,6 +231,7 @@ func (m *MultiSystem) buildLocked() error {
 			Alloc:         t.planner,
 			MinShare:      t.pcfg.share,
 			RouteHeadroom: m.cfg.headroomOrDefault(),
+			CacheDisabled: m.cfg.plannerCacheOff,
 			Publish: func(plan *core.Plan, routes *core.Routes) {
 				eng.ApplyPlan(i, plan, routes)
 			},
@@ -240,6 +241,7 @@ func (m *MultiSystem) buildLocked() error {
 	if err != nil {
 		return err
 	}
+	ctrl.Sequential = m.cfg.parallelPlanningOff
 	m.eng = eng
 	m.ctrl = ctrl
 	m.built = true
