@@ -244,3 +244,31 @@ func BenchmarkMultiTenantContention(b *testing.B) {
 	b.ReportMetric(float64(a.MaxGrant-a.MinGrant), "traffic_grant_swing")
 	b.ReportMetric(float64(last.Allocates), "milp_solves")
 }
+
+// BenchmarkForecastSpike runs the proactive-provisioning experiment per
+// iteration (reactive vs trend vs Holt-Winters on an identical flash crowd
+// and an identical diurnal cycle) and reports every run's window SLO
+// attainment — spike-window for the flash crowd, whole-run for diurnal —
+// the regression canaries for the forecasting subsystem. The recorded
+// baseline lives in BENCH_forecast.json.
+func BenchmarkForecastSpike(b *testing.B) {
+	var last []*experiments.ForecastResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Forecast(experiments.ForecastConfig{
+			Seed: 11, TraceSteps: 24, StepSec: 10,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for _, res := range last {
+		suffix := "_spike_slo"
+		if res.Scenario == "diurnal" {
+			suffix = "_diurnal_slo"
+		}
+		for _, o := range res.Outcomes {
+			b.ReportMetric(o.WindowAttainment, o.Name+suffix)
+		}
+	}
+}

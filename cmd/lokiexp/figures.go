@@ -86,6 +86,22 @@ func runtime(servers int, sloSec float64) error {
 	return nil
 }
 
+func forecastFig(seed int64, servers int, sloSec float64, quick bool) error {
+	steps := 36
+	if quick {
+		steps = 24
+	}
+	r, err := experiments.Forecast(experiments.ForecastConfig{
+		Servers: servers, SLOSec: sloSec, Seed: seed,
+		TraceSteps: steps, StepSec: 10,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatForecast(r))
+	return nil
+}
+
 func multitenant(seed int64, servers int, sloSec float64, quick bool) error {
 	steps := 48
 	if quick {

@@ -11,6 +11,7 @@
 //	lokiexp -fig 7          # early-dropping ablation (Figure 7)
 //	lokiexp -fig 8          # SLO sensitivity (Figure 8)
 //	lokiexp -fig multitenant # shared-pool contention across two pipelines
+//	lokiexp -fig forecast   # reactive vs proactive (forecast-driven) serving
 //	lokiexp -fig validate   # simulator-vs-prototype validation (§6.2)
 //	lokiexp -fig runtime    # Resource Manager / Load Balancer overhead (§6.5)
 //	lokiexp -fig all        # everything
@@ -31,7 +32,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1, 3, 5, 6, 7, 8, multitenant, validate, runtime, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 3, 5, 6, 7, 8, multitenant, forecast, validate, runtime, all")
 	seed := flag.Int64("seed", 11, "random seed")
 	servers := flag.Int("servers", 20, "cluster size")
 	sloMs := flag.Float64("slo", 250, "latency SLO in milliseconds")
@@ -111,6 +112,11 @@ func main() {
 	if all || *fig == "multitenant" {
 		run("Multi-tenant: shared-pool contention", func() error {
 			return multitenant(*seed, *servers, *sloMs/1000, *quick)
+		})
+	}
+	if all || *fig == "forecast" {
+		run("Forecast: reactive vs proactive provisioning", func() error {
+			return forecastFig(*seed, *servers, *sloMs/1000, *quick)
 		})
 	}
 	if all || *fig == "validate" {

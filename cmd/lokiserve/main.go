@@ -11,6 +11,14 @@
 //
 //	lokiserve -pipeline traffic,social -trace azure,twitter -peak 500,300 -share 0.4,0.3
 //
+// Proactive serving — a per-pipeline demand forecaster feeds the Resource
+// Manager, and the status line shows observed→predicted demand. On a
+// diurnal trace give Holt-Winters its cycle length (-season, in seconds;
+// the diurnal trace completes 2 cycles, so one cycle is steps×step/2):
+//
+//	lokiserve -pipeline traffic -trace flash -forecaster holtwinters
+//	lokiserve -pipeline traffic -trace diurnal -steps 48 -step 5 -forecaster holtwinters -season 120
+//
 // With -engine live the monitor goroutine observes the system concurrently
 // with serving (Snapshot is concurrency-safe on the wall-clock engine); with
 // -engine sim the run happens in virtual time and snapshots are printed
@@ -31,9 +39,11 @@ import (
 
 func main() {
 	pipeNames := flag.String("pipeline", "traffic", "pipeline(s): traffic, chain, social (comma-separated for multi-tenant)")
-	traceNames := flag.String("trace", "azure", "workload(s): azure, twitter, ramp (comma-separated, one per pipeline)")
+	traceNames := flag.String("trace", "azure", "workload(s): azure, twitter, ramp, diurnal, flash (comma-separated, one per pipeline)")
 	peaks := flag.String("peak", "600", "trace peak(s) in QPS (comma-separated, one per pipeline)")
 	shares := flag.String("share", "", "guaranteed pool share(s) under contention (comma-separated, blank = equal split)")
+	forecasters := flag.String("forecaster", "", "demand forecaster(s): last, trend, holtwinters (comma-separated, one per pipeline; blank = reactive)")
+	seasons := flag.String("season", "", "Holt-Winters seasonal period(s) in seconds (comma-separated, one per pipeline; blank/0 = non-seasonal)")
 	steps := flag.Int("steps", 48, "trace steps")
 	stepSec := flag.Float64("step", 5, "seconds per trace step")
 	servers := flag.Int("servers", 20, "shared pool size")
@@ -86,6 +96,33 @@ func main() {
 					log.Fatalf("bad share %q: %v", s, err)
 				}
 				popts = append(popts, loki.WithShare(f))
+			}
+		}
+		// Forecasters follow the same per-pipeline convention: a blank entry
+		// keeps the pipeline reactive rather than inheriting the neighbour's.
+		seasonList := strings.Split(*seasons, ",")
+		season := 0
+		if i < len(seasonList) {
+			if s := strings.TrimSpace(seasonList[i]); s != "" {
+				n, err := strconv.Atoi(s)
+				if err != nil || n < 0 {
+					log.Fatalf("bad season %q: want a non-negative whole number of seconds", s)
+				}
+				season = n
+			}
+		}
+		fcList := strings.Split(*forecasters, ",")
+		if i < len(fcList) {
+			if s := strings.TrimSpace(fcList[i]); s != "" {
+				kind := forecasterFor(s)
+				fopts := []loki.ForecastOption{loki.WithForecastSeason(season)}
+				// The headroom margin belongs to real forecasting only:
+				// `-forecaster last` must stay the documented exact identity
+				// to reactive serving.
+				if kind != loki.ForecastLast {
+					fopts = append(fopts, loki.WithForecastHeadroom(0.1))
+				}
+				popts = append(popts, loki.WithPipelineForecaster(kind, fopts...))
 			}
 		}
 		if err := sys.AddPipeline(name, pipelineFor(name), popts...); err != nil {
@@ -186,9 +223,27 @@ func traceFor(name string, seed int64, steps int, stepSec, peak float64) *loki.T
 		return loki.TwitterTrace(seed, steps, stepSec, peak)
 	case "ramp":
 		return loki.RampTrace(peak/10, peak, steps, stepSec)
+	case "diurnal":
+		return loki.DiurnalTrace(steps, stepSec, peak/8, peak, 2)
+	case "flash":
+		return loki.FlashCrowdTrace(peak/3, steps, stepSec, 0.4, 0.25, 3)
 	default:
 		log.Fatalf("unknown trace %q", name)
 		return nil
+	}
+}
+
+func forecasterFor(name string) loki.ForecasterKind {
+	switch name {
+	case "last":
+		return loki.ForecastLast
+	case "trend":
+		return loki.ForecastTrend
+	case "holtwinters", "hw":
+		return loki.ForecastHoltWinters
+	default:
+		log.Fatalf("unknown forecaster %q", name)
+		return loki.ForecastLast
 	}
 }
 
@@ -208,8 +263,8 @@ func printSnapshots(sys *loki.MultiSystem) {
 		if err != nil {
 			continue
 		}
-		fmt.Printf("t=%7.1fs  [%-8s] arrivals=%-8d inflight=%-6d completed=%-8d dropped=%-6d rerouted=%-6d servers=%d/%d\n",
+		fmt.Printf("t=%7.1fs  [%-8s] arrivals=%-8d inflight=%-6d completed=%-8d dropped=%-6d rerouted=%-6d servers=%d/%d demand=%.0f→%.0f\n",
 			s.TimeSec, name, s.Arrivals, s.InFlight, s.Completed, s.Dropped, s.Rerouted,
-			s.ActiveServers, s.GrantedServers)
+			s.ActiveServers, s.GrantedServers, s.ObservedDemand, s.PredictedDemand)
 	}
 }

@@ -1,0 +1,101 @@
+package loki_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"loki"
+)
+
+// The default forecaster (Last, identity) must not perturb serving at all:
+// a run with WithForecaster(ForecastLast) — and one with an explicit zero
+// headroom and envelope on, the documented defaults — reproduces the
+// no-forecaster run bit for bit, field by field. This is the guarantee that
+// lets the forecasting path live permanently wired into the controllers
+// rather than behind a branch: the golden single-tenant parity suite keeps
+// pinning both.
+func TestForecasterLastParity(t *testing.T) {
+	cases := []struct {
+		name string
+		pipe *loki.Pipeline
+		tr   *loki.Trace
+		opts []loki.Option
+	}{
+		{
+			name: "traffic-azure",
+			pipe: loki.TrafficAnalysisPipeline(),
+			tr:   loki.AzureTrace(1, 24, 5, 450),
+			opts: []loki.Option{loki.WithServers(20), loki.WithSeed(3)},
+		},
+		{
+			name: "chain-flashcrowd",
+			pipe: loki.TrafficChainPipeline(),
+			tr:   loki.FlashCrowdTrace(150, 20, 5, 0.4, 0.3, 2.5),
+			opts: []loki.Option{loki.WithServers(10), loki.WithSeed(7)},
+		},
+	}
+	variants := []struct {
+		name string
+		opt  loki.Option
+	}{
+		{"last", loki.WithForecaster(loki.ForecastLast)},
+		{"last-explicit-defaults", loki.WithForecaster(loki.ForecastLast,
+			loki.WithForecastHeadroom(0), loki.WithForecastEnvelope(true),
+			loki.WithForecastHorizon(10*time.Second))},
+	}
+	if raceEnabled {
+		// The chain cases run near saturation, where MILP solves can hit the
+		// wall-clock solve limit under the race detector's ~10x slowdown;
+		// truncated solves return timing-dependent incumbents, so bit-for-bit
+		// comparisons are only meaningful uninstrumented (the recorded golden
+		// suite has the same sensitivity).
+		t.Skip("race-detector slowdown makes wall-clock-budgeted solves nondeterministic")
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			base, err := loki.Serve(c.pipe, c.tr, c.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range variants {
+				got, err := loki.Serve(c.pipe, c.tr, append(append([]loki.Option{}, c.opts...), v.opt)...)
+				if err != nil {
+					t.Fatalf("%s: %v", v.name, err)
+				}
+				if !reflect.DeepEqual(base, got) {
+					t.Fatalf("%s diverged from the reactive run:\n  base %v\n  got  %v", v.name, base, got)
+				}
+			}
+		})
+	}
+}
+
+// A non-identity forecaster must actually change planning: on a flash-crowd
+// trace the proactive run provisions at least as many peak servers, and its
+// Snapshot exposes a prediction decoupled from the estimate.
+func TestForecasterChangesProvisioning(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector slowdown makes wall-clock-budgeted solves nondeterministic")
+	}
+	pipe := loki.TrafficChainPipeline()
+	tr := loki.FlashCrowdTrace(150, 20, 5, 0.4, 0.3, 2.5)
+	opts := []loki.Option{loki.WithServers(10), loki.WithSeed(7)}
+
+	reactive, err := loki.Serve(pipe, tr, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proactive, err := loki.Serve(pipe, tr, append(append([]loki.Option{}, opts...),
+		loki.WithForecaster(loki.ForecastHoltWinters, loki.WithForecastHeadroom(0.1)))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proactive.MaxServers < reactive.MaxServers {
+		t.Fatalf("proactive peaked at %.0f servers, reactive at %.0f — forecasting should never provision less at the spike",
+			proactive.MaxServers, reactive.MaxServers)
+	}
+	if proactive.MeanServers <= 0 {
+		t.Fatal("proactive run reported no server usage")
+	}
+}

@@ -544,7 +544,7 @@ func (c *Cluster) finish(root *rootRequest) {
 	if root.dropped {
 		c.TotalDropped++
 		if c.Metrics != nil {
-			c.Metrics.Dropped(now)
+			c.Metrics.Dropped(now, root.arrived)
 		}
 		return
 	}

@@ -57,6 +57,9 @@ type Tenant struct {
 	// RouteHeadroom inflates the demand handed to MostAccurateFirst, as in
 	// Controller.RouteHeadroom.
 	RouteHeadroom float64
+	// ForecastHorizonSec is how far ahead this tenant's forecaster is
+	// consulted when planning (zero means DefaultForecastHorizonSec).
+	ForecastHorizonSec float64
 	// Publish delivers a new plan and routing tables to the serving engine.
 	Publish func(plan *Plan, routes *Routes)
 
@@ -150,6 +153,32 @@ func (t *Tenant) solve(demand float64, cap int, ratio float64) (*Plan, error) {
 func (t *Tenant) moved(demand, thr float64) bool {
 	base := math.Max(t.planDmd, 1)
 	return math.Abs(demand-t.planDmd)/base >= thr
+}
+
+// DefaultForecastHorizonSec is the planning horizon when none is configured:
+// the Resource Manager's 10-second periodic interval, so a forecast covers
+// exactly the window until the next guaranteed re-plan.
+const DefaultForecastHorizonSec = 10
+
+// planningDemand is the demand the Resource Manager provisions for: the
+// smoothed estimate, raised to the forecaster's horizon prediction when that
+// is higher. The asymmetry is deliberate hysteresis — scale-up is proactive
+// (the prediction leads the estimate into a spike, so capacity and swap
+// pauses are paid during the ramp, not at the crest) while scale-down stays
+// reactive (a predicted decay never shrinks capacity below what current
+// smoothed demand justifies, so a jittery forecaster cannot thrash the
+// cluster). Without a forecaster PredictedDemand returns the estimate and
+// this is exactly the reactive demand, bit for bit.
+func (t *Tenant) planningDemand() float64 {
+	est := t.Meta.DemandEstimate()
+	h := t.ForecastHorizonSec
+	if h == 0 {
+		h = DefaultForecastHorizonSec
+	}
+	if pred := t.Meta.PredictedDemand(h); pred > est {
+		return pred
+	}
+	return est
 }
 
 // MultiController is the multi-tenant Resource Manager: it arbitrates one
@@ -295,9 +324,13 @@ func (m *MultiController) Step(force bool) error {
 	defer m.mu.Unlock()
 	m.steps++
 
+	// Per-tenant planning demand: the smoothed estimate, or the forecaster's
+	// envelope when it predicts higher — so one tenant's forecasted spike
+	// raises its want in the desire pass and claims idle neighbour servers
+	// before the spike arrives.
 	demands := make([]float64, len(m.tenants))
 	for i, t := range m.tenants {
-		demands[i] = t.Meta.DemandEstimate()
+		demands[i] = t.planningDemand()
 	}
 
 	thr := m.ReallocateThreshold
@@ -489,7 +522,7 @@ func (t *Tenant) publish(demand float64) {
 }
 
 // Rebalance reruns MostAccurateFirst for every tenant against its standing
-// plan with a fresh demand estimate (the Load Balancer's
+// plan with a fresh planning demand (the Load Balancer's
 // between-allocations refresh).
 func (m *MultiController) Rebalance() {
 	m.mu.Lock()
@@ -498,7 +531,7 @@ func (m *MultiController) Rebalance() {
 		if t.plan == nil {
 			continue
 		}
-		t.publish(t.Meta.DemandEstimate())
+		t.publish(t.planningDemand())
 	}
 }
 

@@ -43,6 +43,11 @@ type Controller struct {
 	// the SLO/2 allowance. Should match the allocator's Headroom.
 	RouteHeadroom float64
 
+	// ForecastHorizonSec is how far ahead the Metadata Store's forecaster
+	// is consulted when planning (zero means DefaultForecastHorizonSec, the
+	// RM's periodic interval). Irrelevant without a forecaster installed.
+	ForecastHorizonSec float64
+
 	mu    sync.Mutex
 	state Tenant // plan cache, standing plan/routes, allocate counter
 	steps int
@@ -58,6 +63,7 @@ func NewController(meta *MetadataStore, alloc Planner, publish func(*Plan, *Rout
 func (c *Controller) stateLocked() *Tenant {
 	t := &c.state
 	t.Meta, t.Alloc, t.Publish, t.RouteHeadroom = c.Meta, c.Alloc, c.Publish, c.RouteHeadroom
+	t.ForecastHorizonSec = c.ForecastHorizonSec
 	return t
 }
 
@@ -80,7 +86,7 @@ func (c *Controller) Step(force bool) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	t := c.stateLocked()
-	demand := t.Meta.DemandEstimate()
+	demand := t.planningDemand()
 	c.steps++
 
 	thr := c.ReallocateThreshold
@@ -101,7 +107,7 @@ func (c *Controller) Step(force bool) error {
 	return nil
 }
 
-// Rebalance reruns MostAccurateFirst with the current demand estimate
+// Rebalance reruns MostAccurateFirst with the current planning demand
 // against the standing plan (the Load Balancer's between-allocations
 // refresh).
 func (c *Controller) Rebalance() {
@@ -111,7 +117,7 @@ func (c *Controller) Rebalance() {
 	if t.plan == nil {
 		return
 	}
-	t.publish(t.Meta.DemandEstimate())
+	t.publish(t.planningDemand())
 }
 
 // Plan returns the standing plan (nil before the first Step).

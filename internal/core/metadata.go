@@ -1,12 +1,19 @@
 package core
 
 import (
+	"math"
 	"sync"
 
+	"loki/internal/forecast"
 	"loki/internal/pipeline"
 	"loki/internal/profiles"
 	"loki/internal/trace"
 )
+
+// demandHistoryLen is how many per-second demand samples the store's ring
+// retains (about eight minutes) — the §4.2 "recent demand history" record,
+// exposed through DemandHistory for diagnostics and tests.
+const demandHistoryLen = 512
 
 // MetadataStore holds everything the Resource Manager and Load Balancer
 // consult (§3): the pipeline graph, per-variant performance profiles, the
@@ -22,6 +29,19 @@ type MetadataStore struct {
 	batches  []int
 
 	demand trace.EWMA // smoothed incoming demand estimate
+
+	// fc, when non-nil, predicts near-future demand for the proactive
+	// control plane. It is fed the smoothed estimate after every
+	// observation, so a persistence (Last) forecaster reproduces the
+	// reactive estimator bit for bit.
+	fc forecast.Forecaster
+
+	// hist is a ring of the raw per-second demand samples.
+	hist     []float64
+	histPos  int
+	histLen  int
+	lastObs  float64
+	lastObsT float64
 
 	// multFactors[task][variant] is an EWMA of the multiplicative factor
 	// workers observed while serving that variant; it starts at the
@@ -62,12 +82,52 @@ func (m *MetadataStore) SLO() float64 { return m.sloSec }
 // Batches returns the allowed batch sizes.
 func (m *MetadataStore) Batches() []int { return m.batches }
 
+// SetForecaster installs the demand forecaster PredictedDemand consults.
+// The store feeds it the smoothed estimate after every observation, so a
+// forecast.Last forecaster reproduces the reactive estimator exactly and
+// "forecasting off" (nil, the default) and "identity forecaster" are
+// indistinguishable. Install before serving starts; the store serializes
+// all forecaster access under its own lock.
+func (m *MetadataStore) SetForecaster(f forecast.Forecaster) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.fc = f
+}
+
 // ObserveDemand folds a demand measurement (QPS over the last reporting
-// interval, as recorded by the Frontend) into the EWMA estimate.
+// interval, as recorded by the Frontend) into the EWMA estimate. Callers
+// with no clock of their own (pre-serving warm-up) get a synthetic
+// one-second spacing; engines report through ObserveDemandAt.
 func (m *MetadataStore) ObserveDemand(qps float64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.observeLocked(m.lastObsT+1, qps)
+}
+
+// ObserveDemandAt is ObserveDemand stamped with the engine time of the
+// measurement, which the forecaster needs to convert planning horizons into
+// sample steps.
+func (m *MetadataStore) ObserveDemandAt(t, qps float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.observeLocked(t, qps)
+}
+
+func (m *MetadataStore) observeLocked(t, qps float64) {
 	m.demand.Observe(qps)
+	if m.hist == nil {
+		m.hist = make([]float64, demandHistoryLen)
+	}
+	m.hist[m.histPos] = qps
+	m.histPos = (m.histPos + 1) % demandHistoryLen
+	if m.histLen < demandHistoryLen {
+		m.histLen++
+	}
+	m.lastObs = qps
+	m.lastObsT = t
+	if m.fc != nil {
+		m.fc.Observe(t, m.demand.Value())
+	}
 }
 
 // DemandEstimate returns the smoothed demand estimate.
@@ -75,6 +135,53 @@ func (m *MetadataStore) DemandEstimate() float64 {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	return m.demand.Value()
+}
+
+// PredictedDemand returns the forecaster's demand prediction horizonSec
+// seconds ahead. Without a forecaster it returns the smoothed estimate — the
+// reactive control plane is the degenerate forecast. The write lock is
+// deliberate: forecaster implementations are documented as not safe for
+// concurrent use, and that contract permits a Predict that mutates model
+// state (memoization, lazy refits), so Predict may never run concurrently
+// with itself or Observe.
+func (m *MetadataStore) PredictedDemand(horizonSec float64) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.fc == nil {
+		return m.demand.Value()
+	}
+	p := m.fc.Predict(horizonSec)
+	if math.IsNaN(p) || p < 0 {
+		return 0
+	}
+	return p
+}
+
+// LastObservedDemand returns the most recent raw per-second demand sample
+// (zero before any observation) — the "observed" half of the serving CLIs'
+// predicted-vs-observed status line.
+func (m *MetadataStore) LastObservedDemand() float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.lastObs
+}
+
+// DemandHistory returns up to n of the most recent raw per-second demand
+// samples in chronological order.
+func (m *MetadataStore) DemandHistory(n int) []float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if n > m.histLen {
+		n = m.histLen
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = m.hist[((m.histPos-n+i)%demandHistoryLen+demandHistoryLen)%demandHistoryLen]
+	}
+	return out
 }
 
 // ReportMultFactor records a worker-observed multiplicative factor for a

@@ -299,7 +299,7 @@ func (m *multiSimulated) housekeepTenant(i int, now, rateQPS float64) {
 	t := &m.cfg.Tenants[i]
 	cl := m.cls[i]
 	count := cl.FlushDemand()
-	t.Meta.ObserveDemand(float64(count))
+	t.Meta.ObserveDemandAt(now, float64(count))
 	if t.OnTaskDemand != nil {
 		for task, n := range cl.FlushTaskArrivals() {
 			t.OnTaskDemand(pipeline.TaskID(task), float64(n))

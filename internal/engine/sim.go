@@ -140,7 +140,7 @@ func (s *simulated) Feed(tr *trace.Trace) error {
 
 func (s *simulated) housekeep(now, rateQPS float64) {
 	count := s.cl.FlushDemand()
-	s.cfg.Meta.ObserveDemand(float64(count))
+	s.cfg.Meta.ObserveDemandAt(now, float64(count))
 	if s.cfg.OnTaskDemand != nil {
 		for task, n := range s.cl.FlushTaskArrivals() {
 			s.cfg.OnTaskDemand(pipeline.TaskID(task), float64(n))

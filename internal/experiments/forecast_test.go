@@ -1,0 +1,57 @@
+package experiments
+
+import "testing"
+
+// The acceptance gate of the forecasting subsystem: on the flash-crowd
+// trace, proactive provisioning with Envelope(HoltWinters) keeps strictly
+// higher SLO attainment inside the spike window than the reactive baseline,
+// and the learned forecasters beat persistence on offline error for the
+// diurnal trace.
+func TestForecastProactiveBeatsReactiveOnFlashCrowd(t *testing.T) {
+	results, err := Forecast(ForecastConfig{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatForecast(results))
+
+	byName := func(r *ForecastResult, name string) ForecastOutcome {
+		for _, o := range r.Outcomes {
+			if o.Name == name {
+				return o
+			}
+		}
+		t.Fatalf("scenario %s has no %q outcome", r.Scenario, name)
+		return ForecastOutcome{}
+	}
+	var flash, diurnal *ForecastResult
+	for _, r := range results {
+		switch r.Scenario {
+		case "flash-crowd":
+			flash = r
+		case "diurnal":
+			diurnal = r
+		}
+	}
+	if flash == nil || diurnal == nil {
+		t.Fatalf("missing scenarios in %v", results)
+	}
+
+	reactive := byName(flash, "reactive")
+	hw := byName(flash, "holtwinters")
+	if reactive.WindowArrivals == 0 || hw.WindowArrivals == 0 {
+		t.Fatal("spike window saw no arrivals; window misaligned with the trace")
+	}
+	if hw.WindowAttainment <= reactive.WindowAttainment {
+		t.Fatalf("proactive holtwinters spike-window SLO %.4f is not strictly above reactive %.4f",
+			hw.WindowAttainment, reactive.WindowAttainment)
+	}
+
+	// Forecast accuracy: on the smooth diurnal trace the learned models
+	// must beat the persistence error the reactive plane implies.
+	dReactive := byName(diurnal, "reactive")
+	for _, name := range []string{"trend", "holtwinters"} {
+		if o := byName(diurnal, name); o.ForecastMAE >= dReactive.ForecastMAE {
+			t.Errorf("%s diurnal MAE %.1f is not below persistence %.1f", name, o.ForecastMAE, dReactive.ForecastMAE)
+		}
+	}
+}

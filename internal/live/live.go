@@ -356,7 +356,7 @@ func (e *Engine) housekeeping() {
 		ctrl := e.ctrl
 		e.mu.Unlock()
 
-		e.meta.ObserveDemand(float64(count))
+		e.meta.ObserveDemandAt(now, float64(count))
 		for task, n := range taskCounts {
 			e.opts.OnTaskDemand(pipeline.TaskID(task), float64(n))
 		}
@@ -724,7 +724,7 @@ func (e *Engine) finish(root *rootReq) {
 	}
 	e.mu.Unlock()
 	if root.dropped {
-		e.colLocked(func(c *metrics.Collector) { c.Dropped(now) })
+		e.colLocked(func(c *metrics.Collector) { c.Dropped(now, root.arrived) })
 		return
 	}
 	late := now > root.deadline+1e-9

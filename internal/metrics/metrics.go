@@ -28,6 +28,7 @@ type bucket struct {
 	completed   int // answered in time
 	late        int // answered past the deadline
 	dropped     int // preemptively dropped or lost
+	violByArr   int // late or dropped, attributed to the arrival's bucket
 	accuracySum float64
 	accuracyN   int
 	latencySum  float64
@@ -70,6 +71,10 @@ func (c *Collector) Completed(t float64, late bool, latency, accuracy float64) {
 	b := c.at(t)
 	if late {
 		b.late++
+		// Also charge the violation to the bucket the request *arrived* in
+		// (t-latency), so windowed attainment can pair violations with the
+		// same population as the arrival counts.
+		c.at(t-latency).violByArr++
 	} else {
 		b.completed++
 	}
@@ -83,11 +88,14 @@ func (c *Collector) Completed(t float64, late bool, latency, accuracy float64) {
 	}
 }
 
-// Dropped records a request dropped (fully or partially) at time t.
-func (c *Collector) Dropped(t float64) {
+// Dropped records a request dropped (fully or partially) at time t; arrived
+// is when the request entered the system, which is the bucket the violation
+// is charged to for windowed attainment (see Point.Violations).
+func (c *Collector) Dropped(t, arrived float64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.at(t).dropped++
+	c.at(arrived).violByArr++
 }
 
 // SampleDemand records the instantaneous offered demand at time t.
@@ -117,6 +125,12 @@ type Point struct {
 	ViolationRatio float64 // (late+dropped)/arrivals
 	Utilization    float64 // active servers / cluster size
 	Servers        float64
+	Arrivals       int // requests arriving in the bucket
+	// Violations counts requests that finished late or were dropped,
+	// attributed to the bucket they *arrived* in (late/dropped above are
+	// attributed to completion/drop time). Pairing Violations with Arrivals
+	// gives exact request-weighted SLO attainment over a window of buckets.
+	Violations int
 }
 
 // Series returns per-bucket points.
@@ -125,7 +139,7 @@ func (c *Collector) Series() []Point {
 	defer c.mu.Unlock()
 	out := make([]Point, len(c.buckets))
 	for i, b := range c.buckets {
-		p := Point{TimeSec: float64(i) * c.BucketSec}
+		p := Point{TimeSec: float64(i) * c.BucketSec, Arrivals: b.arrivals, Violations: b.violByArr}
 		if b.demandN > 0 {
 			p.DemandQPS = b.demandSum / float64(b.demandN)
 		}

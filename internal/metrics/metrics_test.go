@@ -16,15 +16,42 @@ func TestViolationRatioCountsLateAndDropped(t *testing.T) {
 		c.Completed(2, false, 0.1, 0.9)
 	}
 	c.Completed(2, true, 0.4, 0.8) // late
-	c.Dropped(3)
-	c.Dropped(3)
-	c.Dropped(3)
+	c.Dropped(3, 1)
+	c.Dropped(3, 1)
+	c.Dropped(3, 1)
 	s := c.Summarize()
 	if s.Arrivals != 10 || s.Completed != 6 || s.Late != 1 || s.Dropped != 3 {
 		t.Fatalf("summary = %+v", s)
 	}
 	if math.Abs(s.ViolationRatio-0.4) > 1e-12 {
 		t.Fatalf("violation ratio = %g, want 0.4", s.ViolationRatio)
+	}
+}
+
+// Violations are charged to the bucket the request arrived in, even when the
+// late completion or drop lands in a later bucket — the pairing that makes
+// windowed attainment exact.
+func TestViolationsAttributedToArrivalBucket(t *testing.T) {
+	c := NewCollector(10, 4)
+	c.Arrival(9.5)
+	c.Completed(10.2, true, 0.7, 1.0) // arrived 9.5, completed late next bucket
+	c.Arrival(9.8)
+	c.Dropped(11, 9.8) // dropped in the next bucket too
+	pts := c.Series()
+	if len(pts) != 2 {
+		t.Fatalf("got %d buckets, want 2", len(pts))
+	}
+	if pts[0].Arrivals != 2 || pts[0].Violations != 2 {
+		t.Fatalf("arrival bucket: arrivals=%d violations=%d, want 2/2", pts[0].Arrivals, pts[0].Violations)
+	}
+	if pts[1].Violations != 0 {
+		t.Fatalf("completion bucket charged %d violations, want 0", pts[1].Violations)
+	}
+	// Completion-time attribution of the legacy fields is unchanged: the
+	// late answer is served in bucket 1 (ServedQPS = 1 answer / 10 s), not
+	// in the arrival bucket.
+	if pts[0].ServedQPS != 0 || math.Abs(pts[1].ServedQPS-0.1) > 1e-12 {
+		t.Fatalf("legacy served attribution moved: served=%g,%g want 0,0.1", pts[0].ServedQPS, pts[1].ServedQPS)
 	}
 }
 
@@ -68,7 +95,7 @@ func TestSeriesBucketsByTime(t *testing.T) {
 	c.Arrival(5)
 	c.Completed(5, false, 0.1, 1.0)
 	c.Arrival(15)
-	c.Dropped(15)
+	c.Dropped(15, 15)
 	c.SampleDemand(5, 100)
 	c.SampleDemand(15, 200)
 	pts := c.Series()
@@ -132,7 +159,7 @@ func TestSummaryConservation(t *testing.T) {
 			c.Completed(float64(i%50), true, 0.6, 1)
 		}
 		for i := 0; i < int(nDrop); i++ {
-			c.Dropped(float64(i % 50))
+			c.Dropped(float64(i%50), float64(i%50))
 		}
 		s := c.Summarize()
 		if s.Completed+s.Late+s.Dropped != s.Arrivals {

@@ -113,6 +113,47 @@ func (t *Trace) WithSpike(startFrac, durFrac, mult float64) *Trace {
 	return out
 }
 
+// Diurnal synthesizes a deterministic day/night demand cycle: the rate
+// swings sinusoidally between trough and peak, starting at the trough and
+// completing `periods` full cycles over the trace. Unlike AzureLike it is
+// noise-free and exactly periodic, which makes it the reference workload for
+// seasonal forecasters (the cycle is learnable, so a prediction-driven
+// control plane should lead every rising edge).
+func Diurnal(steps int, interval, trough, peak float64, periods int) *Trace {
+	if periods < 1 {
+		periods = 1
+	}
+	t := &Trace{Interval: interval, QPS: make([]float64, steps)}
+	for i := range t.QPS {
+		x := float64(i) / float64(steps)
+		t.QPS[i] = trough + (peak-trough)*0.5*(1-math.Cos(2*math.Pi*float64(periods)*x))
+	}
+	return t
+}
+
+// FlashCrowd synthesizes a flash-crowd workload: a flat base rate with a
+// sudden mult× burst over the window [startFrac, startFrac+durFrac) of the
+// trace — the unforecastable-onset scenario a proactive control plane must
+// survive by reacting to the first elevated samples instead of the smoothed
+// estimate.
+func FlashCrowd(base float64, steps int, interval, startFrac, durFrac, mult float64) *Trace {
+	t := &Trace{Interval: interval, QPS: make([]float64, steps)}
+	for i := range t.QPS {
+		t.QPS[i] = base
+	}
+	// The window is resolved to whole steps up front (unlike WithSpike's
+	// per-step fraction test) so the burst width is exactly
+	// round(durFrac·steps) intervals, immune to float rounding at the edges.
+	start := int(math.Round(startFrac * float64(steps)))
+	end := start + int(math.Round(durFrac*float64(steps)))
+	for i := start; i < end && i < steps; i++ {
+		if i >= 0 {
+			t.QPS[i] *= mult
+		}
+	}
+	return t
+}
+
 // Ramp returns a linear ramp from startQPS to endQPS over steps intervals —
 // the demand pattern of Figure 1's capacity walkthrough.
 func Ramp(startQPS, endQPS float64, steps int, interval float64) *Trace {

@@ -76,6 +76,68 @@ func TestTracesAreDeterministicPerSeed(t *testing.T) {
 	}
 }
 
+// Diurnal pins its shape: exact trough/peak endpoints, the configured
+// peak/trough ratio, and exactly `periods` crests at the expected phase.
+func TestDiurnalShape(t *testing.T) {
+	const (
+		steps   = 240
+		trough  = 50.0
+		peak    = 500.0
+		periods = 3
+	)
+	tr := Diurnal(steps, 10, trough, peak, periods)
+	if len(tr.QPS) != steps || tr.Interval != 10 {
+		t.Fatalf("got %d steps interval %g", len(tr.QPS), tr.Interval)
+	}
+	if math.Abs(tr.Min()-trough) > 1e-9 || math.Abs(tr.Peak()-peak) > 1e-9 {
+		t.Fatalf("range [%g, %g], want [%g, %g]", tr.Min(), tr.Peak(), trough, peak)
+	}
+	if ratio := tr.Peak() / tr.Min(); math.Abs(ratio-peak/trough) > 1e-9 {
+		t.Fatalf("peak/trough = %g, want %g", ratio, peak/trough)
+	}
+	// Period: a crest sits at the midpoint of each cycle (steps/periods
+	// intervals per cycle, cos phase starting at the trough).
+	cycle := steps / periods
+	for p := 0; p < periods; p++ {
+		crest := p*cycle + cycle/2
+		if math.Abs(tr.QPS[crest]-peak) > 1e-9 {
+			t.Fatalf("cycle %d crest at step %d is %g, want %g", p, crest, tr.QPS[crest], peak)
+		}
+		if p > 0 {
+			if valley := tr.QPS[p*cycle]; math.Abs(valley-trough) > 1e-9 {
+				t.Fatalf("cycle %d valley at step %d is %g, want %g", p, p*cycle, valley, trough)
+			}
+		}
+	}
+}
+
+// FlashCrowd pins its shape: flat base outside the burst, exactly mult×
+// inside, and a burst width matching durFrac.
+func TestFlashCrowdShape(t *testing.T) {
+	const (
+		steps = 100
+		base  = 200.0
+		mult  = 3.0
+	)
+	tr := FlashCrowd(base, steps, 5, 0.4, 0.2, mult)
+	elevated := 0
+	for i, q := range tr.QPS {
+		switch {
+		case q == base:
+		case q == base*mult:
+			elevated++
+		default:
+			t.Fatalf("step %d rate %g is neither base nor burst", i, q)
+		}
+	}
+	if elevated != 20 {
+		t.Fatalf("burst spans %d steps, want 20 (durFrac 0.2 of %d)", elevated, steps)
+	}
+	if tr.QPS[39] != base || tr.QPS[40] != base*mult || tr.QPS[59] != base*mult || tr.QPS[60] != base {
+		t.Fatal("burst window misaligned with [0.4, 0.6)")
+	}
+}
+
 func TestRateAtClamps(t *testing.T) {
 	tr := Ramp(1, 10, 10, 2) // 20 seconds long
 	if tr.RateAt(-5) != tr.QPS[0] {

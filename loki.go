@@ -136,6 +136,21 @@ func RampTrace(startQPS, endQPS float64, steps int, stepSec float64) *Trace {
 	return trace.Ramp(startQPS, endQPS, steps, stepSec)
 }
 
+// DiurnalTrace is a deterministic day/night cycle: the rate swings
+// sinusoidally between trough and peak, completing `periods` full cycles
+// over the trace. Noise-free and exactly periodic — the reference workload
+// for seasonal forecasters (see WithForecaster).
+func DiurnalTrace(steps int, stepSec, troughQPS, peakQPS float64, periods int) *Trace {
+	return trace.Diurnal(steps, stepSec, troughQPS, peakQPS, periods)
+}
+
+// FlashCrowdTrace is a flat base rate with a sudden mult× burst over the
+// window [startFrac, startFrac+durFrac) of the trace — the spike workload
+// of the proactive-serving experiments.
+func FlashCrowdTrace(baseQPS float64, steps int, stepSec, startFrac, durFrac, mult float64) *Trace {
+	return trace.FlashCrowd(baseQPS, steps, stepSec, startFrac, durFrac, mult)
+}
+
 // Baseline selects an alternative resource-management strategy for Serve.
 type Baseline int
 
@@ -168,6 +183,7 @@ type config struct {
 	minAcc     float64
 	engine     EngineKind
 	timeScale  float64
+	fc         forecastConfig
 	// Zero values mean "on": the fast planning path is the default and
 	// these record the escape hatches.
 	plannerCacheOff     bool

@@ -124,6 +124,13 @@ type Snapshot struct {
 	// Allocates counts Resource Manager MILP invocations (plan-cache
 	// misses) so far.
 	Allocates int
+	// ObservedDemand is the most recent raw per-second demand sample the
+	// Frontend reported (zero before the first housekeeping tick).
+	ObservedDemand float64
+	// PredictedDemand is the forecaster's demand prediction at the planning
+	// horizon (see WithForecaster). Without a forecaster it equals the
+	// smoothed demand estimate — the value the reactive planner uses.
+	PredictedDemand float64
 }
 
 // Snapshot returns live counters without disturbing the run.

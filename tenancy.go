@@ -24,6 +24,7 @@ type pipelineConfig struct {
 	share    float64
 	baseline Baseline
 	baseSet  bool
+	fc       forecastConfig
 }
 
 // PipelineOption configures one pipeline registered with
@@ -72,6 +73,8 @@ type msTenant struct {
 	planner core.Planner
 	col     *metrics.Collector
 	ecfg    engine.TenantConfig
+	// fcHorizon is the resolved forecast planning horizon in seconds.
+	fcHorizon float64
 }
 
 // MultiSystem serves several pipelines on one shared server pool. Register
@@ -142,6 +145,9 @@ func (m *MultiSystem) AddPipeline(name string, p *Pipeline, opts ...PipelineOpti
 	if !pc.baseSet {
 		pc.baseline = m.cfg.baseline
 	}
+	if !pc.fc.set {
+		pc.fc = m.cfg.fc
+	}
 	if pc.share < 0 || pc.share >= 1 {
 		return fmt.Errorf("loki: pipeline %q share %.3f outside [0,1)", name, pc.share)
 	}
@@ -158,18 +164,22 @@ func (m *MultiSystem) AddPipeline(name string, p *Pipeline, opts ...PipelineOpti
 	tc := m.cfg
 	tc.slo = pc.slo
 	meta, aopts := metaAndOpts(p, tc)
+	if f := pc.fc.build(); f != nil {
+		meta.SetForecaster(f)
+	}
 	planner, proteus, err := newPlannerFor(pc.baseline, meta, aopts)
 	if err != nil {
 		return err
 	}
 	col := metrics.NewCollector(30, m.cfg.servers)
 	t := &msTenant{
-		name:    name,
-		pipe:    p,
-		pcfg:    pc,
-		meta:    meta,
-		planner: planner,
-		col:     col,
+		name:      name,
+		pipe:      p,
+		pcfg:      pc,
+		meta:      meta,
+		planner:   planner,
+		col:       col,
+		fcHorizon: pc.fc.horizonSec(),
 		ecfg: engine.TenantConfig{
 			Meta:      meta,
 			Policy:    pc.pol,
@@ -226,12 +236,13 @@ func (m *MultiSystem) buildLocked() error {
 	for i, t := range m.tenants {
 		i := i
 		ctenants[i] = &core.Tenant{
-			Name:          t.name,
-			Meta:          t.meta,
-			Alloc:         t.planner,
-			MinShare:      t.pcfg.share,
-			RouteHeadroom: m.cfg.headroomOrDefault(),
-			CacheDisabled: m.cfg.plannerCacheOff,
+			Name:               t.name,
+			Meta:               t.meta,
+			Alloc:              t.planner,
+			MinShare:           t.pcfg.share,
+			RouteHeadroom:      m.cfg.headroomOrDefault(),
+			ForecastHorizonSec: t.fcHorizon,
+			CacheDisabled:      m.cfg.plannerCacheOff,
 			Publish: func(plan *core.Plan, routes *core.Routes) {
 				eng.ApplyPlan(i, plan, routes)
 			},
@@ -403,6 +414,10 @@ func (m *MultiSystem) Snapshot(pipeline string) (Snapshot, error) {
 	m.mu.Lock()
 	i, err := m.index(pipeline)
 	built := m.built
+	var t *msTenant
+	if err == nil {
+		t = m.tenants[i]
+	}
 	m.mu.Unlock()
 	if err != nil {
 		return Snapshot{}, err
@@ -412,15 +427,17 @@ func (m *MultiSystem) Snapshot(pipeline string) (Snapshot, error) {
 	}
 	st := m.eng.Stats(i)
 	return Snapshot{
-		TimeSec:        m.eng.Now(),
-		Arrivals:       st.Injected,
-		Completed:      st.Completed,
-		Dropped:        st.Dropped,
-		Rerouted:       st.Rerouted,
-		InFlight:       st.Injected - st.Completed - st.Dropped,
-		ActiveServers:  m.eng.ActiveServers(i),
-		GrantedServers: m.ctrl.Grants()[i],
-		Allocates:      m.ctrl.AllocatesOf(i),
+		TimeSec:         m.eng.Now(),
+		Arrivals:        st.Injected,
+		Completed:       st.Completed,
+		Dropped:         st.Dropped,
+		Rerouted:        st.Rerouted,
+		InFlight:        st.Injected - st.Completed - st.Dropped,
+		ActiveServers:   m.eng.ActiveServers(i),
+		GrantedServers:  m.ctrl.Grants()[i],
+		Allocates:       m.ctrl.AllocatesOf(i),
+		ObservedDemand:  t.meta.LastObservedDemand(),
+		PredictedDemand: t.meta.PredictedDemand(t.fcHorizon),
 	}, nil
 }
 
