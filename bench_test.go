@@ -245,6 +245,51 @@ func BenchmarkMultiTenantContention(b *testing.B) {
 	b.ReportMetric(float64(last.Allocates), "milp_solves")
 }
 
+// BenchmarkHeteroAllocate measures one Resource Manager allocation on a
+// homogeneous 20-server pool versus the 3-class heterogeneous fleet of the
+// hetero experiment (24 servers, class-expanded configuration graph), over a
+// cycling demand walk. The hetero MILP carries one capacity row per class
+// and |classes|× the configurations, so its solve time bounds the cost of
+// the hardware-class refactor; milp_solves counts branch-and-bound
+// invocations per iteration. The recorded baseline lives in
+// BENCH_hetero.json.
+func BenchmarkHeteroAllocate(b *testing.B) {
+	fleets := []struct {
+		name    string
+		classes []profiles.Class
+	}{
+		{"homogeneous", profiles.DefaultClasses(20)},
+		{"hetero3", []profiles.Class{
+			{Name: "a100", Count: 4, Speed: 2.0, CostPerHour: 3.2},
+			{Name: "v100", Count: 8, Speed: 1.0, CostPerHour: 1.2},
+			{Name: "t4", Count: 12, Speed: 0.5, CostPerHour: 0.55},
+		}},
+	}
+	demands := []float64{150, 350, 600, 250, 500}
+	for _, f := range fleets {
+		b.Run(f.name, func(b *testing.B) {
+			g := profiles.TrafficTree()
+			prof := (&profiles.Profiler{}).ProfileGraphClasses(g, profiles.Batches, f.classes)
+			meta := core.NewMetadataStoreHetero(g, f.classes, prof, 0.250, profiles.Batches)
+			alloc, err := core.NewAllocator(meta, core.AllocatorOptions{
+				NetLatencySec: 0.002, KeepWarm: true,
+				Headroom: 0.30, SolveTimeLimit: 2 * time.Second,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := alloc.Allocate(demands[i%len(demands)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(alloc.Perf().MILPSolves)/float64(b.N), "milp_solves")
+		})
+	}
+}
+
 // BenchmarkForecastSpike runs the proactive-provisioning experiment per
 // iteration (reactive vs trend vs Holt-Winters on an identical flash crowd
 // and an identical diurnal cycle) and reports every run's window SLO

@@ -102,6 +102,21 @@ func forecastFig(seed int64, servers int, sloSec float64, quick bool) error {
 	return nil
 }
 
+func hetero(seed int64, sloSec float64, quick bool) error {
+	steps, stepSec := 48, 10.0
+	if quick {
+		steps, stepSec = 24, 5.0
+	}
+	r, err := experiments.Hetero(experiments.HeteroConfig{
+		SLOSec: sloSec, Seed: seed, TraceSteps: steps, StepSec: stepSec,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatHetero(r))
+	return nil
+}
+
 func multitenant(seed int64, servers int, sloSec float64, quick bool) error {
 	steps := 48
 	if quick {

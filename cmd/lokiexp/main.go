@@ -10,6 +10,7 @@
 //	lokiexp -fig 6          # social-media end-to-end comparison (Figure 6)
 //	lokiexp -fig 7          # early-dropping ablation (Figure 7)
 //	lokiexp -fig 8          # SLO sensitivity (Figure 8)
+//	lokiexp -fig hetero      # mixed accelerator fleet vs uniform fleet
 //	lokiexp -fig multitenant # shared-pool contention across two pipelines
 //	lokiexp -fig forecast   # reactive vs proactive (forecast-driven) serving
 //	lokiexp -fig validate   # simulator-vs-prototype validation (§6.2)
@@ -32,7 +33,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1, 3, 5, 6, 7, 8, multitenant, forecast, validate, runtime, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 3, 5, 6, 7, 8, hetero, multitenant, forecast, validate, runtime, all")
 	seed := flag.Int64("seed", 11, "random seed")
 	servers := flag.Int("servers", 20, "cluster size")
 	sloMs := flag.Float64("slo", 250, "latency SLO in milliseconds")
@@ -107,6 +108,11 @@ func main() {
 	if all || *fig == "8" {
 		run("Figure 8: SLO sensitivity", func() error {
 			return figure8(*seed)
+		})
+	}
+	if all || *fig == "hetero" {
+		run("Hetero: mixed accelerator fleet vs speed-equivalent uniform", func() error {
+			return hetero(*seed, *sloMs/1000, *quick)
 		})
 	}
 	if all || *fig == "multitenant" {

@@ -46,7 +46,8 @@ func main() {
 	seasons := flag.String("season", "", "Holt-Winters seasonal period(s) in seconds (comma-separated, one per pipeline; blank/0 = non-seasonal)")
 	steps := flag.Int("steps", 48, "trace steps")
 	stepSec := flag.Float64("step", 5, "seconds per trace step")
-	servers := flag.Int("servers", 20, "shared pool size")
+	servers := flag.Int("servers", 20, "shared pool size (superseded by -hardware)")
+	hardware := flag.String("hardware", "", "hardware classes for the shared pool, e.g. a100:4@2.0,v100:8@1.0,cpu:16@0.25 (name:count@speed[@cost/h]; blank = homogeneous -servers pool)")
 	slo := flag.Duration("slo", 250*time.Millisecond, "end-to-end latency SLO")
 	seed := flag.Int64("seed", 1, "random seed")
 	engName := flag.String("engine", "sim", "serving backend: sim (virtual time), live (wall clock)")
@@ -62,6 +63,18 @@ func main() {
 		loki.WithServers(*servers),
 		loki.WithSLO(*slo),
 		loki.WithSeed(*seed),
+	}
+	poolSize := *servers
+	if *hardware != "" {
+		classes, err := loki.ParseHardware(*hardware)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, loki.WithHardware(classes...))
+		poolSize = 0
+		for _, c := range classes {
+			poolSize += c.Count
+		}
 	}
 	live := *engName == "live"
 	switch *engName {
@@ -133,8 +146,13 @@ func main() {
 		fmt.Printf("pipeline %-8s trace %-8s peak %6.0f qps over %.0fs\n",
 			name, pick(trs, i, "azure"), peakQPS, tr.Duration())
 	}
-	fmt.Printf("serving %d pipeline(s) on a shared pool of %d servers (engine %s)\n\n",
-		len(names), *servers, *engName)
+	if *hardware != "" {
+		fmt.Printf("serving %d pipeline(s) on a shared pool of %d servers [%s] (engine %s)\n\n",
+			len(names), poolSize, *hardware, *engName)
+	} else {
+		fmt.Printf("serving %d pipeline(s) on a shared pool of %d servers (engine %s)\n\n",
+			len(names), poolSize, *engName)
+	}
 
 	done := make(chan struct{})
 	if live {
@@ -168,8 +186,19 @@ func main() {
 	printSnapshots(sys)
 	for _, name := range sortedKeys(traces) {
 		if plan, err := sys.Plan(name); err == nil && plan != nil {
-			fmt.Printf("standing plan [%s]: %d servers, expected accuracy %.4f\n",
-				name, plan.ServersUsed, plan.ExpectedAccuracy)
+			extra := ""
+			if *hardware != "" {
+				usage := plan.ClassUsage()
+				for _, cl := range sortedKeys(usage) {
+					extra += fmt.Sprintf(" %s:%d", cl, usage[cl])
+				}
+				extra = " (" + strings.TrimSpace(extra) + ")"
+				if plan.CostPerHour > 0 {
+					extra += fmt.Sprintf(" $%.2f/h", plan.CostPerHour)
+				}
+			}
+			fmt.Printf("standing plan [%s]: %d servers%s, expected accuracy %.4f\n",
+				name, plan.ServersUsed, extra, plan.ExpectedAccuracy)
 		}
 	}
 	fmt.Println()
@@ -263,8 +292,22 @@ func printSnapshots(sys *loki.MultiSystem) {
 		if err != nil {
 			continue
 		}
-		fmt.Printf("t=%7.1fs  [%-8s] arrivals=%-8d inflight=%-6d completed=%-8d dropped=%-6d rerouted=%-6d servers=%d/%d demand=%.0f→%.0f\n",
+		fmt.Printf("t=%7.1fs  [%-8s] arrivals=%-8d inflight=%-6d completed=%-8d dropped=%-6d rerouted=%-6d servers=%d/%d demand=%.0f→%.0f%s\n",
 			s.TimeSec, name, s.Arrivals, s.InFlight, s.Completed, s.Dropped, s.Rerouted,
-			s.ActiveServers, s.GrantedServers, s.ObservedDemand, s.PredictedDemand)
+			s.ActiveServers, s.GrantedServers, s.ObservedDemand, s.PredictedDemand,
+			classOccupancy(s))
 	}
+}
+
+// classOccupancy renders "  classes a100:2/4 v100:3/8" (active/granted per
+// hardware class) for heterogeneous pools, and nothing otherwise.
+func classOccupancy(s loki.Snapshot) string {
+	if len(s.ActiveServersByClass) == 0 {
+		return ""
+	}
+	out := "  classes"
+	for _, name := range sortedKeys(s.ActiveServersByClass) {
+		out += fmt.Sprintf(" %s:%d/%d", name, s.ActiveServersByClass[name], s.GrantedServersByClass[name])
+	}
+	return out
 }

@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"sort"
 	"time"
 
 	"loki"
@@ -21,7 +22,8 @@ func main() {
 	peak := flag.Float64("peak", 1100, "trace peak (QPS)")
 	steps := flag.Int("steps", 96, "trace steps")
 	stepSec := flag.Float64("step", 10, "seconds per trace step")
-	servers := flag.Int("servers", 20, "cluster size")
+	servers := flag.Int("servers", 20, "cluster size (superseded by -hardware)")
+	hardware := flag.String("hardware", "", "hardware classes, e.g. a100:4@2.0,v100:8@1.0,cpu:16@0.25 (name:count@speed[@cost/h]; blank = homogeneous -servers pool)")
 	slo := flag.Duration("slo", 250*time.Millisecond, "end-to-end latency SLO")
 	seed := flag.Int64("seed", 1, "random seed")
 	approach := flag.String("approach", "loki", "resource manager: loki, inferline, proteus")
@@ -60,6 +62,19 @@ func main() {
 		loki.WithSLO(*slo),
 		loki.WithSeed(*seed),
 	}
+	poolDesc := fmt.Sprintf("%d servers", *servers)
+	if *hardware != "" {
+		classes, err := loki.ParseHardware(*hardware)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, loki.WithHardware(classes...))
+		total := 0
+		for _, c := range classes {
+			total += c.Count
+		}
+		poolDesc = fmt.Sprintf("%d servers (%s)", total, *hardware)
+	}
 	switch *approach {
 	case "loki":
 	case "inferline":
@@ -93,10 +108,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%s | %s | peak %.0f qps | %d servers | SLO %v | %s/%s | engine %s\n",
-		pipe.Name, *traceName, *peak, *servers, *slo, *approach, *polName, *engName)
+	fmt.Printf("%s | %s | peak %.0f qps | %s | SLO %v | %s/%s | engine %s\n",
+		pipe.Name, *traceName, *peak, poolDesc, *slo, *approach, *polName, *engName)
 	fmt.Println(report)
 	fmt.Printf("mean latency %v, rerouted %d\n", report.MeanLatency, report.Rerouted)
+	if len(report.MeanServersByClass) > 0 {
+		fmt.Printf("mean occupancy by class:")
+		for _, name := range sortedClassNames(report.MeanServersByClass) {
+			fmt.Printf(" %s=%.1f", name, report.MeanServersByClass[name])
+		}
+		fmt.Println()
+	}
 	if *series {
 		fmt.Printf("\n%8s %12s %10s %9s %10s\n", "time(s)", "demand", "accuracy", "servers", "slo-viol")
 		for _, p := range report.Series {
@@ -104,4 +126,15 @@ func main() {
 				p.TimeSec, p.DemandQPS, p.Accuracy, p.Servers, p.ViolationRatio)
 		}
 	}
+}
+
+// sortedClassNames returns the map's keys in sorted order so the occupancy
+// line is stable run to run.
+func sortedClassNames(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }

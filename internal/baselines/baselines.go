@@ -58,17 +58,25 @@ func (b *InferLine) Allocate(demand float64) (*core.Plan, error) {
 	return plan, nil
 }
 
-// AllocateCapped is Allocate with the cluster size temporarily bounded to
-// servers, so an InferLine-managed pipeline can live inside a multi-tenant
-// partition (core.CappedPlanner).
-func (b *InferLine) AllocateCapped(demand float64, servers int) (*core.Plan, error) {
-	if servers <= 0 {
-		return nil, fmt.Errorf("baselines: capped allocation needs a positive server budget, got %d", servers)
+// AllocateCapped is Allocate with the per-class server counts temporarily
+// bounded to caps, so an InferLine-managed pipeline can live inside a
+// multi-tenant partition (core.CappedPlanner). Homogeneous pools pass a
+// single-element vector.
+func (b *InferLine) AllocateCapped(demand float64, caps []int) (*core.Plan, error) {
+	if want := len(b.Meta.Classes()); len(caps) != want {
+		return nil, fmt.Errorf("baselines: capped allocation got %d class grants for %d hardware classes", len(caps), want)
 	}
-	if warm := len(b.Meta.Graph().Tasks); servers < warm {
-		return nil, fmt.Errorf("baselines: capped allocation of %d servers cannot hold one replica of each of %d tasks", servers, warm)
+	total := 0
+	for _, n := range caps {
+		total += n
 	}
-	return b.alloc.Capped(servers).AllocateHardwareOnly(demand)
+	if total <= 0 {
+		return nil, fmt.Errorf("baselines: capped allocation needs a positive server budget, got %d", total)
+	}
+	if warm := len(b.Meta.Graph().Tasks); total < warm {
+		return nil, fmt.Errorf("baselines: capped allocation of %d servers cannot hold one replica of each of %d tasks", total, warm)
+	}
+	return b.alloc.Capped(caps).AllocateHardwareOnly(demand)
 }
 
 // Proteus performs per-task accuracy scaling without pipeline awareness
@@ -91,6 +99,12 @@ type Proteus struct {
 // and the partition never changes afterwards (that is the point of the
 // baseline).
 func NewProteus(meta *core.MetadataStore, opts core.AllocatorOptions) (*Proteus, error) {
+	if len(meta.Classes()) > 1 {
+		// The static per-task partition has no notion of hardware classes:
+		// an operator-configured split of a heterogeneous fleet is a
+		// different (and stronger) baseline than the paper compares against.
+		return nil, fmt.Errorf("baselines: the Proteus-like baseline supports homogeneous clusters only")
+	}
 	g := meta.Graph()
 	n := len(g.Tasks)
 	p := &Proteus{

@@ -18,13 +18,22 @@ import (
 	"loki/internal/metrics"
 	"loki/internal/pipeline"
 	"loki/internal/policy"
+	"loki/internal/profiles"
 	"loki/internal/sim"
 )
 
 // Options configures the simulated cluster.
 type Options struct {
-	// Servers is the number of physical workers.
+	// Servers is the number of physical workers. With Classes set it must
+	// equal (or be left zero to inherit) the classes' total count.
 	Servers int
+	// Classes partitions the workers into hardware classes: the first
+	// Classes[0].Count physical workers belong to class 0, the next to
+	// class 1, and so on. Each worker executes at its class's Speed and a
+	// plan's specs are placed only on workers of their own class (model
+	// swaps never cross classes). Nil means one "default" class holding
+	// every server at speed 1.0 — the pre-class behavior, bit for bit.
+	Classes []profiles.Class
 	// SLOSec is the end-to-end latency SLO attached to every request.
 	SLOSec float64
 	// NetLatencySec is the homogeneous one-hop communication latency.
@@ -34,8 +43,6 @@ type Options struct {
 	// SwapLatencySec stalls a worker that changes model variant (model
 	// load time). Zero disables swap modeling.
 	SwapLatencySec float64
-	// DeviceSpeed scales execution latency (1.0 = profiled speed).
-	DeviceSpeed float64
 	// ExecJitter adds ±relative noise to every batch execution, modeling
 	// the real-hardware variance the paper cites when validating its
 	// simulator. Zero means deterministic execution.
@@ -86,6 +93,8 @@ type Cluster struct {
 
 type worker struct {
 	phys      int
+	class     int              // hardware class index (fixed for the worker's lifetime)
+	speed     float64          // the class's execution speed
 	spec      *core.WorkerSpec // nil when idle (server shut down)
 	queue     []*subrequest
 	busy      bool
@@ -115,11 +124,16 @@ type subrequest struct {
 
 // New creates a cluster on the given engine.
 func New(eng *sim.Engine, meta *core.MetadataStore, pol policy.Policy, col *metrics.Collector, opts Options) (*Cluster, error) {
+	if opts.Classes == nil {
+		opts.Classes = profiles.DefaultClasses(opts.Servers)
+	}
+	if total := profiles.TotalCount(opts.Classes); opts.Servers == 0 {
+		opts.Servers = total
+	} else if opts.Servers != total {
+		return nil, fmt.Errorf("cluster: Servers (%d) disagrees with the hardware classes' total count (%d)", opts.Servers, total)
+	}
 	if opts.Servers <= 0 {
 		return nil, fmt.Errorf("cluster: need a positive server count")
-	}
-	if opts.DeviceSpeed == 0 {
-		opts.DeviceSpeed = 1.0
 	}
 	if opts.QueueFactor == 0 {
 		opts.QueueFactor = 2.0
@@ -135,23 +149,33 @@ func New(eng *sim.Engine, meta *core.MetadataStore, pol policy.Policy, col *metr
 		logical:    map[core.WorkerID]*worker{},
 		backupLeft: map[core.WorkerID]float64{},
 	}
-	for i := 0; i < opts.Servers; i++ {
-		c.workers = append(c.workers, &worker{phys: i})
+	// Physical workers are laid out class by class: the first
+	// Classes[0].Count servers belong to class 0, and so on.
+	for cl, class := range opts.Classes {
+		speed := class.Speed
+		if speed == 0 {
+			speed = 1.0
+		}
+		for i := 0; i < class.Count; i++ {
+			c.workers = append(c.workers, &worker{phys: len(c.workers), class: cl, speed: speed})
+		}
 	}
 	c.taskArrivals = make([]int, len(c.g.Tasks))
 
-	// minTail[t]: network hop + fastest execution of t + deepest child
-	// tail — the optimistic remaining latency the Opportunistic policy
-	// compares against the deadline.
-	prof := meta.Profiles()
+	// minTail[t]: network hop + fastest execution of t (over every hardware
+	// class) + deepest child tail — the optimistic remaining latency the
+	// Opportunistic policy compares against the deadline.
+	classProf := meta.ClassProfiles()
 	c.minTail = make([]float64, len(c.g.Tasks))
 	var tail func(t pipeline.TaskID) float64
 	tail = func(t pipeline.TaskID) float64 {
 		minExec := math.Inf(1)
-		for k := range prof[t] {
-			for _, l := range prof[t][k].LatencySec {
-				if l < minExec {
-					minExec = l
+		for _, prof := range classProf {
+			for k := range prof[t] {
+				for _, l := range prof[t][k].LatencySec {
+					if l < minExec {
+						minExec = l
+					}
 				}
 			}
 		}
@@ -177,6 +201,18 @@ func (c *Cluster) ActiveServers() int {
 		}
 	}
 	return n
+}
+
+// ActiveByClass returns the number of workers currently hosting a model in
+// each hardware class, in class order.
+func (c *Cluster) ActiveByClass() []int {
+	out := make([]int, len(c.Opts.Classes))
+	for _, w := range c.workers {
+		if w.spec != nil {
+			out[w.class]++
+		}
+	}
+	return out
 }
 
 // Inflight returns the number of root requests still in the system.
@@ -217,10 +253,12 @@ func (c *Cluster) ApplyPlan(plan *core.Plan, routes *core.Routes) {
 	c.routes = routes
 
 	key := func(s *core.WorkerSpec) string {
-		return fmt.Sprintf("%d/%d/%d", s.Task, s.Variant, s.MaxBatch)
+		return fmt.Sprintf("%d/%d/%d/%d", s.Task, s.Variant, s.MaxBatch, s.Class)
 	}
 	// Claim physical workers whose current config matches a spec, so
-	// unchanged replicas keep serving through the reconfiguration.
+	// unchanged replicas keep serving through the reconfiguration. A spec
+	// only ever lands on a worker of its own hardware class — swaps happen
+	// within a class, never across.
 	claimed := make([]bool, len(c.workers))
 	assign := make([]*core.WorkerSpec, len(c.workers))
 	var unmatched []*core.WorkerSpec
@@ -240,8 +278,8 @@ func (c *Cluster) ApplyPlan(plan *core.Plan, routes *core.Routes) {
 		}
 	}
 	for _, s := range unmatched {
-		for wi := range c.workers {
-			if !claimed[wi] {
+		for wi, w := range c.workers {
+			if !claimed[wi] && w.class == s.Class {
 				claimed[wi] = true
 				assign[wi] = s
 				break
@@ -380,7 +418,7 @@ func (c *Cluster) tryStart(w *worker) {
 	spec := w.spec // capture: reconfiguration must not affect a running batch
 
 	v := &c.g.Tasks[spec.Task].Variants[spec.Variant]
-	lat := v.Latency(b) / c.Opts.DeviceSpeed
+	lat := v.Latency(b) / w.speed
 	if c.Opts.ExecJitter > 0 {
 		lat *= 1 + c.Opts.ExecJitter*(2*c.rng.Float64()-1)
 	}
@@ -627,5 +665,6 @@ func (c *Cluster) Heartbeat() {
 	}
 	if c.Metrics != nil {
 		c.Metrics.SampleServers(now, c.ActiveServers())
+		c.Metrics.SampleClassServers(c.ActiveByClass())
 	}
 }

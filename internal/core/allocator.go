@@ -9,11 +9,15 @@ import (
 	"loki/internal/lp"
 	"loki/internal/milp"
 	"loki/internal/pipeline"
+	"loki/internal/profiles"
 )
 
 // AllocatorOptions tunes the Resource Manager's optimization (§4).
 type AllocatorOptions struct {
-	// Servers is the cluster size S.
+	// Servers is the cluster size S. On a heterogeneous fleet (the Metadata
+	// Store registers several hardware classes, or one class with a positive
+	// Count) the per-class counts are authoritative and Servers must either
+	// be zero or equal their sum.
 	Servers int
 	// NetLatencySec is the homogeneous per-hop communication latency
 	// subtracted from the SLO during allocation (§4.2).
@@ -58,6 +62,16 @@ type Allocator struct {
 	Meta *MetadataStore
 	Opts AllocatorOptions
 
+	// classes are the cluster's hardware classes and counts their effective
+	// per-class server counts (the homogeneous path resolves the single
+	// default class to Opts.Servers). Capped views override counts only.
+	classes []profiles.Class
+	counts  []int
+	// priced is true when any class carries a positive CostPerHour, turning
+	// the cost-aware objective terms on. A zero-cost fleet keeps the
+	// pre-class objectives bit for bit.
+	priced bool
+
 	cfgs        []config  // all latency-feasible configurations
 	byTask      [][]int   // config indices per task
 	paths       []cfgPath // all feasible root-to-sink config paths
@@ -71,13 +85,15 @@ type Allocator struct {
 	state *solverState
 }
 
-// config is one deployable unit: a model variant at a fixed max batch size.
+// config is one deployable unit: a model variant at a fixed max batch size
+// hosted on one hardware class (latency and throughput are class-specific).
 type config struct {
 	task    pipeline.TaskID
 	variant int
 	batch   int
-	lat     float64 // profiled batch latency (seconds)
-	qps     float64 // profiled per-replica throughput
+	class   int     // hardware class index
+	lat     float64 // profiled batch latency on the class (seconds)
+	qps     float64 // profiled per-replica throughput on the class
 	acc     float64 // normalized accuracy
 }
 
@@ -93,8 +109,29 @@ type cfgPath struct {
 // NewAllocator builds the configuration graph for the store's pipeline.
 func NewAllocator(meta *MetadataStore, opts AllocatorOptions) (*Allocator, error) {
 	a := &Allocator{Meta: meta, Opts: opts, state: newSolverState()}
-	if opts.Servers <= 0 {
-		return nil, fmt.Errorf("core: allocator needs a positive cluster size, got %d", opts.Servers)
+	a.classes = meta.Classes()
+	a.counts = make([]int, len(a.classes))
+	total := 0
+	for i, cl := range a.classes {
+		a.counts[i] = cl.Count
+		total += cl.Count
+		if cl.CostPerHour > 0 {
+			a.priced = true
+		}
+	}
+	if len(a.classes) == 1 && a.counts[0] == 0 {
+		// Homogeneous compatibility path: the single default class takes its
+		// size from the classic Servers option.
+		a.counts[0] = opts.Servers
+		total = opts.Servers
+	}
+	if a.Opts.Servers == 0 {
+		a.Opts.Servers = total
+	} else if a.Opts.Servers != total {
+		return nil, fmt.Errorf("core: Servers option (%d) disagrees with the hardware classes' total count (%d)", a.Opts.Servers, total)
+	}
+	if a.Opts.Servers <= 0 {
+		return nil, fmt.Errorf("core: allocator needs a positive cluster size, got %d", a.Opts.Servers)
 	}
 	if err := meta.Graph().Validate(); err != nil {
 		return nil, err
@@ -109,34 +146,41 @@ func NewAllocator(meta *MetadataStore, opts AllocatorOptions) (*Allocator, error
 // build enumerates configurations and feasible paths.
 func (a *Allocator) build() {
 	g := a.Meta.Graph()
-	prof := a.Meta.Profiles()
+	classProf := a.Meta.ClassProfiles()
 
 	a.byTask = make([][]int, len(g.Tasks))
 	for i := range g.Tasks {
 		for k := range g.Tasks[i].Variants {
-			p := &prof[i][k]
-			// Dominated-configuration pruning: a larger batch size that
-			// improves throughput by under 5% mostly adds latency — the
-			// variant has saturated — and is dropped. This shrinks the
-			// path set multiplicatively at a worst-case cost of a few
-			// percent of capacity, well below the provisioning headroom.
-			bestQPS := 0.0
-			for j, b := range p.Batches {
-				if j > 0 && p.QPS[j] < bestQPS*1.05 {
-					continue
+			for cl := range a.classes {
+				p := &classProf[cl][i][k]
+				// Dominated-configuration pruning, per (variant, class): a
+				// larger batch size that improves throughput by under 5%
+				// mostly adds latency — the variant has saturated — and is
+				// dropped. This shrinks the path set multiplicatively at a
+				// worst-case cost of a few percent of capacity, well below
+				// the provisioning headroom. Classes are never pruned
+				// against each other: a slower class's configurations stay
+				// available, because its servers are a separate capacity
+				// (and cost) pool.
+				bestQPS := 0.0
+				for j, b := range p.Batches {
+					if j > 0 && p.QPS[j] < bestQPS*1.05 {
+						continue
+					}
+					if p.QPS[j] > bestQPS {
+						bestQPS = p.QPS[j]
+					}
+					a.byTask[i] = append(a.byTask[i], len(a.cfgs))
+					a.cfgs = append(a.cfgs, config{
+						task:    pipeline.TaskID(i),
+						variant: k,
+						batch:   b,
+						class:   cl,
+						lat:     p.LatencySec[j],
+						qps:     p.QPS[j],
+						acc:     g.Tasks[i].Variants[k].Accuracy,
+					})
 				}
-				if p.QPS[j] > bestQPS {
-					bestQPS = p.QPS[j]
-				}
-				a.byTask[i] = append(a.byTask[i], len(a.cfgs))
-				a.cfgs = append(a.cfgs, config{
-					task:    pipeline.TaskID(i),
-					variant: k,
-					batch:   b,
-					lat:     p.LatencySec[j],
-					qps:     p.QPS[j],
-					acc:     g.Tasks[i].Variants[k].Accuracy,
-				})
 			}
 		}
 	}
@@ -240,8 +284,13 @@ func (a *Allocator) build() {
 					if i == j {
 						continue
 					}
-					// Only combos identical at every shared hop compete;
-					// dominance is judged on the exclusive hops alone.
+					// Only combos identical at every shared hop — and on the
+					// same hardware class at every hop — compete; dominance
+					// is judged on the exclusive hops' throughput alone.
+					// Cross-class combos are incomparable: each class is its
+					// own capacity pool with its own cost, so a
+					// lower-throughput combo on a cheaper or emptier class
+					// can still improve a plan.
 					geq, strict, comparable := true, false, true
 					for h := range combo {
 						if shared[h] {
@@ -250,6 +299,10 @@ func (a *Allocator) build() {
 								break
 							}
 							continue
+						}
+						if a.cfgs[other[h]].class != a.cfgs[combo[h]].class {
+							comparable = false
+							break
 						}
 						qa, qb := a.cfgs[other[h]].qps, a.cfgs[combo[h]].qps
 						if qa < qb {
@@ -339,31 +392,56 @@ func (a *Allocator) Allocate(demand float64) (*Plan, error) {
 	return plan, nil
 }
 
-// Capped returns a view of the allocator whose cluster size is bounded to
-// servers. The configuration graph, paths, and solving machinery are shared
-// (they depend only on the SLO, not the cluster size), so the view is cheap:
-// a capped solve reuses the parent's built LP model for the same demand and
-// step and only swaps the cluster-size row's right-hand side, rather than
+// Capped returns a view of the allocator whose per-class server counts are
+// bounded to caps (one entry per hardware class, in class order). The
+// configuration graph, paths, and solving machinery are shared (they depend
+// only on the SLO, not the cluster size), so the view is cheap: a capped
+// solve reuses the parent's built LP model for the same demand and step and
+// only swaps the per-class capacity rows' right-hand sides, rather than
 // rebuilding the whole formulation. Multi-tenant arbitration uses it to
 // re-solve a pipeline inside its granted partition of the shared pool.
-func (a *Allocator) Capped(servers int) *Allocator {
+func (a *Allocator) Capped(caps []int) *Allocator {
 	b := *a
-	b.Opts.Servers = servers
+	b.counts = append([]int(nil), caps...)
+	b.Opts.Servers = 0
+	for _, n := range caps {
+		b.Opts.Servers += n
+	}
 	return &b
 }
 
-// AllocateCapped is Allocate with the cluster size temporarily bounded to
-// servers (the CappedPlanner hook for multi-tenant arbitration). The budget
-// must cover one replica per task — below that no plan can serve the
-// pipeline at all, and the saturation fallbacks would overshoot the cap.
-func (a *Allocator) AllocateCapped(demand float64, servers int) (*Plan, error) {
-	if servers <= 0 {
-		return nil, fmt.Errorf("core: capped allocation needs a positive server budget, got %d", servers)
+// AllocateCapped is Allocate with the per-class server counts temporarily
+// bounded to caps (the CappedPlanner hook for multi-tenant arbitration). The
+// grant vector must have one entry per hardware class and its total must
+// cover one replica per task — below that no plan can serve the pipeline at
+// all, and the saturation fallbacks would overshoot the cap.
+func (a *Allocator) AllocateCapped(demand float64, caps []int) (*Plan, error) {
+	if err := a.checkCaps(caps); err != nil {
+		return nil, err
 	}
-	if warm := len(a.Meta.Graph().Tasks); servers < warm {
-		return nil, fmt.Errorf("core: capped allocation of %d servers cannot hold one replica of each of %d tasks", servers, warm)
+	return a.Capped(caps).Allocate(demand)
+}
+
+// checkCaps validates a per-class grant vector against the class set and the
+// keep-warm minimum.
+func (a *Allocator) checkCaps(caps []int) error {
+	if len(caps) != len(a.classes) {
+		return fmt.Errorf("core: capped allocation got %d class grants for %d hardware classes", len(caps), len(a.classes))
 	}
-	return a.Capped(servers).Allocate(demand)
+	total := 0
+	for i, n := range caps {
+		if n < 0 {
+			return fmt.Errorf("core: negative grant %d for hardware class %q", n, a.classes[i].Name)
+		}
+		total += n
+	}
+	if total <= 0 {
+		return fmt.Errorf("core: capped allocation needs a positive server budget, got %d", total)
+	}
+	if warm := len(a.Meta.Graph().Tasks); total < warm {
+		return fmt.Errorf("core: capped allocation of %d servers cannot hold one replica of each of %d tasks", total, warm)
+	}
+	return nil
 }
 
 // greedyPlan builds a throughput-first fallback: every task gets its
@@ -373,14 +451,33 @@ func (a *Allocator) AllocateCapped(demand float64, servers int) (*Plan, error) {
 // even when the optimizer is starved of time.
 func (a *Allocator) greedyPlan(demand float64) *Plan {
 	g := a.Meta.Graph()
-	// Fastest feasible config per task.
+	// Fastest feasible config per task, reserving one server slot on the
+	// chosen class per task: on a mixed fleet the fastest configs all live
+	// on the fastest class, which may be smaller than the task count, and a
+	// choice the class cannot host would leave replicas unplaced at the
+	// engines. When every class with feasible configs is fully reserved
+	// (cluster smaller than the pipeline), fall back to the overall fastest
+	// — the pre-class behavior.
+	classFree := append([]int(nil), a.counts...)
 	best := make([]int, len(g.Tasks))
 	for i := range g.Tasks {
 		best[i] = -1
+		fastest := -1
 		for _, ci := range a.byTask[i] {
+			if fastest < 0 || a.cfgs[ci].qps > a.cfgs[fastest].qps {
+				fastest = ci
+			}
+			if classFree[a.cfgs[ci].class] <= 0 {
+				continue
+			}
 			if best[i] < 0 || a.cfgs[ci].qps > a.cfgs[best[i]].qps {
 				best[i] = ci
 			}
+		}
+		if best[i] < 0 {
+			best[i] = fastest
+		} else {
+			classFree[a.cfgs[best[i]].class]--
 		}
 	}
 	// Per-task demand multiplier using the chosen variants.
@@ -425,14 +522,44 @@ func (a *Allocator) greedyPlan(demand float64) *Plan {
 		counts[biggest]--
 		total--
 	}
+	// The fastest configurations may pile onto one hardware class; shed the
+	// same way per class so the fallback plan respects every class's count.
+	// (On a homogeneous cluster the total shed above already did this.)
+	for cl := range a.classes {
+		for {
+			classTotal := 0
+			for i := range g.Tasks {
+				if a.cfgs[best[i]].class == cl {
+					classTotal += counts[i]
+				}
+			}
+			if classTotal <= a.counts[cl] {
+				break
+			}
+			biggest := -1
+			for i, n := range counts {
+				if a.cfgs[best[i]].class == cl && n > 1 && (biggest < 0 || n > counts[biggest]) {
+					biggest = i
+				}
+			}
+			if biggest < 0 {
+				break
+			}
+			counts[biggest]--
+		}
+	}
+	plan.ServersByClass = make([]int, len(a.classes))
 	for i := range g.Tasks {
 		n := counts[i]
 		c := &a.cfgs[best[i]]
 		plan.Assignments = append(plan.Assignments, Assignment{
 			Task: c.task, Variant: c.variant, MaxBatch: c.batch, Replicas: n,
+			Class: c.class, ClassName: a.classes[c.class].Name,
 			QPS: c.qps, LatencySec: c.lat, Accuracy: c.acc, BudgetSec: 2 * c.lat,
 		})
 		plan.ServersUsed += n
+		plan.ServersByClass[c.class] += n
+		plan.CostPerHour += float64(n) * a.classes[c.class].CostPerHour
 		if cap := float64(n) * c.qps / load[i]; cap < served {
 			served = cap
 		}
@@ -502,10 +629,12 @@ func (a *Allocator) solveStep(demand float64, step stepKind) (*Plan, bool, error
 	defer st.mu.Unlock()
 
 	bl := a.builtFor(demand, step)
-	useCfg, cfgVar, nvars, clusterRow, prob := bl.useCfg, bl.cfgVar, bl.nvars, bl.clusterRow, bl.prob
-	// The memoized model is shared across cluster-size caps (Capped views);
-	// only the cluster row's RHS differs between them, so swap it in.
-	prob.Cons[clusterRow].RHS = float64(a.Opts.Servers)
+	useCfg, cfgVar, nvars, clusterRows, prob := bl.useCfg, bl.cfgVar, bl.nvars, bl.clusterRows, bl.prob
+	// The memoized model is shared across per-class caps (Capped views); only
+	// the class capacity rows' RHS differ between them, so swap them in.
+	for cl, row := range clusterRows {
+		prob.Cons[row].RHS = float64(a.counts[cl])
+	}
 
 	P := len(a.paths)
 	fVar := P
@@ -543,49 +672,74 @@ func (a *Allocator) solveStep(demand float64, step stepKind) (*Plan, bool, error
 	}
 
 	// Ceil heuristic: round every replica count up. Capacity rows only get
-	// slacker, so the point stays feasible unless the cluster constraint
-	// breaks. For steps 2 and 3 the objective depends only on the flows, so
-	// a fitting rounded point is outright optimal; for step 1 it seeds the
-	// branch and bound with a strong incumbent.
+	// slacker, so the point stays feasible unless a class capacity
+	// constraint breaks. For steps 2 and 3 the objective depends only on the
+	// flows (plus, on priced fleets, a cost term the rounding can only
+	// overestimate within the gap tolerance), so a fitting rounded point is
+	// outright optimal; for step 1 it seeds the branch and bound with a
+	// strong incumbent.
+	fits := func(totals []int) bool {
+		for cl, n := range totals {
+			if n > a.counts[cl] {
+				return false
+			}
+		}
+		return true
+	}
 	var seed []float64
 	relaxX := []float64(nil)
 	if relax.Status == lp.Optimal {
 		relaxX = relax.X
-		x, total := ceilReplicas(relaxX, cfgVar)
-		if total <= a.Opts.Servers {
-			if step != stepHardware {
+		x, totals := a.ceilReplicas(relaxX, cfgVar)
+		if fits(totals) {
+			if step != stepHardware && !a.priced {
 				return mkPlan(x, SolveStats{Nodes: 1, LPIters: relax.Iters, Proven: true}), true, nil
 			}
 			seed = x
 		}
 	}
 	if seed == nil && step != stepHardware {
-		// The rounded point overflows the cluster. Re-solve the relaxation
-		// with a tightened cluster budget until rounding fits — a fast,
+		// The rounded point overflows some class. Re-solve the relaxation
+		// with tightened class budgets until rounding fits — a fast,
 		// slightly conservative feasible point to seed the search. The
 		// first iteration reuses the relaxation already solved above (the
-		// budget starts untightened, so it is the identical LP); later
-		// iterations swap the budget into the shared model's cluster row,
-		// which is restored before the branch-and-bound runs.
-		budget := float64(a.Opts.Servers)
+		// budgets start untightened, so it is the identical LP); later
+		// iterations swap the budgets into the shared model's class rows,
+		// which are restored before the branch-and-bound runs.
+		budgets := make([]float64, len(a.counts))
+		for cl, n := range a.counts {
+			budgets[cl] = float64(n)
+		}
 		x0 := relaxX
 		for iter := 0; iter < 6; iter++ {
-			x, total := ceilReplicas(x0, cfgVar)
+			x, totals := a.ceilReplicas(x0, cfgVar)
 			if x == nil {
 				break
 			}
-			if total <= a.Opts.Servers {
+			if fits(totals) {
 				seed = x
 				break
 			}
-			budget -= float64(total - a.Opts.Servers)
-			if budget < 0 {
+			under := false
+			for cl, n := range totals {
+				if n > a.counts[cl] {
+					budgets[cl] -= float64(n - a.counts[cl])
+					if budgets[cl] < 0 {
+						under = true
+					}
+				}
+			}
+			if under {
 				break
 			}
-			prob.Cons[clusterRow].RHS = budget
+			for cl, row := range clusterRows {
+				prob.Cons[row].RHS = budgets[cl]
+			}
 			x0 = a.relaxOrNil(prob)
 		}
-		prob.Cons[clusterRow].RHS = float64(a.Opts.Servers)
+		for cl, row := range clusterRows {
+			prob.Cons[row].RHS = float64(a.counts[cl])
+		}
 	}
 
 	opts := milp.Options{
@@ -620,9 +774,16 @@ func (a *Allocator) solveStep(demand float64, step stepKind) (*Plan, bool, error
 		opts.StallAfter = opts.TimeLimit / 4
 		opts.StallNodes = 96
 	}
-	if step == stepHardware {
-		// Minimize an integer count: bounds round to whole servers.
+	if step == stepHardware && !a.priced {
+		// Minimize an integer count: bounds round to whole servers. (On a
+		// priced fleet the objective is a dollar rate, not a count, so the
+		// integral-bound rounding does not apply.)
 		opts.ObjIntegral = true
+	} else if step == stepHardware {
+		// Cost-minimizing hardware scaling: chase the proof only to within
+		// the same tolerance accuracy scaling uses — sub-percent dollar
+		// differences are below provisioning noise.
+		opts.RelGap = 0.01
 	} else {
 		// Replica counts are integral, so on a 20-server cluster the true
 		// optimum sits ≈1% below the fractional relaxation bound; chasing a
@@ -656,20 +817,20 @@ func (a *Allocator) solveStep(demand float64, step stepKind) (*Plan, bool, error
 }
 
 // ceilReplicas rounds the replica variables of a relaxation point up to
-// integers, returning the rounded point and the total replica count.
-func ceilReplicas(x []float64, cfgVar []int) ([]float64, int) {
+// integers, returning the rounded point and the per-class replica totals.
+func (a *Allocator) ceilReplicas(x []float64, cfgVar []int) ([]float64, []int) {
 	if x == nil {
-		return nil, 0
+		return nil, nil
 	}
 	out := append([]float64(nil), x...)
-	total := 0
-	for _, vi := range cfgVar {
+	totals := make([]int, len(a.classes))
+	for ci, vi := range cfgVar {
 		if vi >= 0 {
 			out[vi] = math.Ceil(out[vi] - 1e-9)
-			total += int(out[vi])
+			totals[a.cfgs[ci].class] += int(out[vi])
 		}
 	}
-	return out, total
+	return out, totals
 }
 
 // relaxOrNil solves the LP relaxation through the shared workspace,
@@ -685,8 +846,9 @@ func (a *Allocator) relaxOrNil(p *lp.Problem) []float64 {
 
 // buildLP constructs the LP for one step. It returns the set of usable
 // configs, the variable index of each config's replica count (-1 if the
-// config is not usable in this step), the variable count, and the problem.
-func (a *Allocator) buildLP(demand float64, step stepKind) (useCfg []bool, cfgVar []int, nvars, clusterRow int, prob *lp.Problem) {
+// config is not usable in this step), the variable count, the per-class
+// capacity row indices, and the problem.
+func (a *Allocator) buildLP(demand float64, step stepKind) (useCfg []bool, cfgVar []int, nvars int, clusterRows []int, prob *lp.Problem) {
 	g := a.Meta.Graph()
 	P := len(a.paths)
 	fVar := P
@@ -880,14 +1042,19 @@ func (a *Allocator) buildLP(demand float64, step stepKind) (useCfg []bool, cfgVa
 		prob.AddConstraint(terms, lp.LE, 0)
 	}
 
-	// Cluster size (Eq. 3).
-	var clusterTerms []lp.Term
-	for ci := range a.cfgs {
-		if useCfg[ci] {
-			clusterTerms = append(clusterTerms, lp.Term{Var: cfgVar[ci], Coef: 1})
+	// Cluster size (Eq. 3), one capacity row per hardware class: the
+	// replicas hosted on a class must fit that class's server count. On a
+	// homogeneous cluster this is the classic single cluster-size row.
+	clusterRows = make([]int, len(a.classes))
+	for cl := range a.classes {
+		var clusterTerms []lp.Term
+		for ci := range a.cfgs {
+			if useCfg[ci] && a.cfgs[ci].class == cl {
+				clusterTerms = append(clusterTerms, lp.Term{Var: cfgVar[ci], Coef: 1})
+			}
 		}
+		clusterRows[cl] = prob.AddConstraint(clusterTerms, lp.LE, float64(a.counts[cl]))
 	}
-	clusterRow = prob.AddConstraint(clusterTerms, lp.LE, float64(a.Opts.Servers))
 
 	// Keep-warm: at least one replica per task.
 	if a.Opts.KeepWarm {
@@ -907,11 +1074,19 @@ func (a *Allocator) buildLP(demand float64, step stepKind) (useCfg []bool, cfgVa
 	// Objective.
 	switch step {
 	case stepHardware:
-		// Minimize active servers (Eq. 11).
+		// Minimize active servers (Eq. 11). On a priced fleet the weight is
+		// each class's dollar rate instead — the INFaaS-style cost-aware
+		// variant — with a tiny per-replica epsilon so even a zero-cost
+		// class never deploys replicas for free. A fleet with no costs at
+		// all keeps the classic unit weights bit for bit.
 		prob.Maximize = false
 		for ci := range a.cfgs {
 			if useCfg[ci] {
-				prob.SetObjectiveTerm(cfgVar[ci], 1)
+				w := 1.0
+				if a.priced {
+					w = a.classes[a.cfgs[ci].class].CostPerHour + serverCostEps
+				}
+				prob.SetObjectiveTerm(cfgVar[ci], w)
 			}
 		}
 	case stepAccuracy, stepSaturation, stepHardwareSat:
@@ -919,7 +1094,11 @@ func (a *Allocator) buildLP(demand float64, step stepKind) (useCfg []bool, cfgVa
 		// flow-weighted end-to-end accuracy. Saturation adds a large
 		// reward on the served fraction, making the objective
 		// lexicographic: serve as much as possible, then as accurately as
-		// possible.
+		// possible. On a priced fleet a small per-replica cost penalty
+		// breaks ties between accuracy-equivalent deployments toward the
+		// cheaper classes; its scale keeps any induced accuracy loss well
+		// inside the solver's 1% gap tolerance, and zero-cost fleets add no
+		// terms at all.
 		prob.Maximize = true
 		w := 1.0 / float64(len(a.sinks))
 		for pi := range a.paths {
@@ -927,12 +1106,30 @@ func (a *Allocator) buildLP(demand float64, step stepKind) (useCfg []bool, cfgVa
 				prob.SetObjectiveTerm(pi, w*a.paths[pi].acc)
 			}
 		}
+		if a.priced {
+			for ci := range a.cfgs {
+				if useCfg[ci] {
+					cost := a.classes[a.cfgs[ci].class].CostPerHour + serverCostEps
+					prob.SetObjectiveTerm(cfgVar[ci], -accuracyCostEps*cost)
+				}
+			}
+		}
 		if saturating {
 			prob.SetObjectiveTerm(fVar, 1000)
 		}
 	}
-	return useCfg, cfgVar, nvars, clusterRow, prob
+	return useCfg, cfgVar, nvars, clusterRows, prob
 }
+
+// serverCostEps keeps every replica weakly penalized in the cost-aware
+// hardware-scaling objective, so a class priced at zero is still never
+// deployed gratuitously; accuracyCostEps scales the cost tie-breaker mixed
+// into the accuracy-scaling objective (small enough that trading real
+// accuracy for cost stays inside the solver's gap tolerance).
+const (
+	serverCostEps   = 1e-6
+	accuracyCostEps = 1e-4
+)
 
 func negate(terms []lp.Term) []lp.Term {
 	out := make([]lp.Term, len(terms))
@@ -958,6 +1155,7 @@ func (a *Allocator) extractPlan(x []float64, useCfg []bool, cfgVar []int, fVar i
 		plan.ServedFraction = x[fVar]
 	}
 
+	plan.ServersByClass = make([]int, len(a.classes))
 	for ci := range a.cfgs {
 		if !useCfg[ci] {
 			continue
@@ -972,12 +1170,16 @@ func (a *Allocator) extractPlan(x []float64, useCfg []bool, cfgVar []int, fVar i
 			Variant:    c.variant,
 			MaxBatch:   c.batch,
 			Replicas:   n,
+			Class:      c.class,
+			ClassName:  a.classes[c.class].Name,
 			QPS:        c.qps,
 			LatencySec: c.lat,
 			Accuracy:   c.acc,
 			BudgetSec:  2 * c.lat,
 		})
 		plan.ServersUsed += n
+		plan.ServersByClass[c.class] += n
+		plan.CostPerHour += float64(n) * a.classes[c.class].CostPerHour
 	}
 
 	g := a.Meta.Graph()

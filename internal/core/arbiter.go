@@ -5,7 +5,11 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
+
+	"loki/internal/profiles"
 )
 
 // Control is the engine-facing controller surface: the serving backends
@@ -33,9 +37,10 @@ var (
 // pipeline's allocation inside its granted partition.
 type CappedPlanner interface {
 	Planner
-	// AllocateCapped is Allocate with the cluster size bounded to servers
-	// for this solve only.
-	AllocateCapped(demand float64, servers int) (*Plan, error)
+	// AllocateCapped is Allocate with the per-class server counts bounded to
+	// caps (one entry per hardware class) for this solve only. Homogeneous
+	// pools pass a single-element vector.
+	AllocateCapped(demand float64, caps []int) (*Plan, error)
 }
 
 // Tenant is one pipeline registered with a MultiController: its own
@@ -52,7 +57,9 @@ type Tenant struct {
 	// combined demand exceeds the pool. Zero means "unreserved": the
 	// unreserved tenants split whatever fraction the explicit shares leave
 	// over, equally. Shares only bind under contention — an idle tenant's
-	// unneeded guarantee is lent to whoever wants it.
+	// unneeded guarantee is lent to whoever wants it. On a heterogeneous
+	// pool the share applies per hardware class: the floor is a slice of
+	// every class, so the guarantee covers fast hardware too.
 	MinShare float64
 	// RouteHeadroom inflates the demand handed to MostAccurateFirst, as in
 	// Controller.RouteHeadroom.
@@ -68,15 +75,16 @@ type Tenant struct {
 	// WithPlannerCache(false) option.
 	CacheDisabled bool
 
-	// floorServers is the resolved per-tenant guarantee in whole servers,
-	// never below one replica slot per task.
-	floorServers int
+	// floorByClass is the resolved per-tenant contention guarantee in whole
+	// servers, per hardware class; its total never drops below one replica
+	// slot per task.
+	floorByClass []int
 
 	cache     map[tenantPlanKey]cachedPlan
 	plan      *Plan
 	routes    *Routes
 	planDmd   float64
-	grant     int
+	grant     []int // per-class servers currently granted
 	allocates int
 }
 
@@ -88,16 +96,28 @@ type cachedPlan struct {
 	fineBucket int
 }
 
-// tenantPlanKey caches plans per (quantized demand, server cap) pair: the
-// same demand under a different grant is a different MILP.
+// tenantPlanKey caches plans per (quantized demand, grant vector) pair: the
+// same demand under a different per-class grant is a different MILP. caps is
+// the encoded grant vector, empty for uncapped solves.
 type tenantPlanKey struct {
 	bucket int
-	cap    int
+	caps   string
 }
 
-// uncappedServers marks a solve at the planner's own full cluster size (the
-// single-pipeline code path and the joint desire pass).
-const uncappedServers = -1
+// encodeCaps renders a per-class grant vector as a compact cache-key string.
+func encodeCaps(caps []int) string {
+	if caps == nil {
+		return ""
+	}
+	var b strings.Builder
+	for i, n := range caps {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(n))
+	}
+	return b.String()
+}
 
 // legacyBucketRatio is the single-pipeline plan-cache granularity (≈4%).
 // It predates the threshold-consistent quantization and is kept for the
@@ -106,16 +126,16 @@ const uncappedServers = -1
 const legacyBucketRatio = 1.04
 
 // solve runs the tenant's planner through its plan cache, quantizing demand
-// at the given geometric ratio. cap == uncappedServers uses the planner's
-// own Allocate; a non-negative cap requires the CappedPlanner solve. When
-// CacheDisabled is set every call solves fresh. Safe for concurrent use
-// across distinct tenants (each tenant owns its cache); callers serialize
-// calls for the same tenant.
-func (t *Tenant) solve(demand float64, cap int, ratio float64) (*Plan, error) {
+// at the given geometric ratio. A nil caps vector solves at the planner's
+// own full cluster size; a non-nil per-class grant vector requires the
+// CappedPlanner solve. When CacheDisabled is set every call solves fresh.
+// Safe for concurrent use across distinct tenants (each tenant owns its
+// cache); callers serialize calls for the same tenant.
+func (t *Tenant) solve(demand float64, caps []int, ratio float64) (*Plan, error) {
 	if t.cache == nil {
 		t.cache = map[tenantPlanKey]cachedPlan{}
 	}
-	key := tenantPlanKey{bucket: demandBucket(demand, ratio), cap: cap}
+	key := tenantPlanKey{bucket: demandBucket(demand, ratio), caps: encodeCaps(caps)}
 	fine := demandBucket(demand, legacyBucketRatio)
 	if !t.CacheDisabled {
 		if e, ok := t.cache[key]; ok {
@@ -133,10 +153,10 @@ func (t *Tenant) solve(demand float64, cap int, ratio float64) (*Plan, error) {
 	}
 	var plan *Plan
 	var err error
-	if cap == uncappedServers {
+	if caps == nil {
 		plan, err = t.Alloc.Allocate(demand)
 	} else {
-		plan, err = t.Alloc.(CappedPlanner).AllocateCapped(demand, cap)
+		plan, err = t.Alloc.(CappedPlanner).AllocateCapped(demand, caps)
 	}
 	if err != nil {
 		return nil, err
@@ -215,12 +235,15 @@ type MultiController struct {
 	Sequential bool
 
 	// OnGrants, when non-nil, observes every joint allocation: the step
-	// counter and the per-tenant server grants, in registration order. It
-	// is called with the controller lock held and must not call back in.
+	// counter and the per-tenant server grants (summed across hardware
+	// classes), in registration order. It is called with the controller
+	// lock held and must not call back in.
 	OnGrants func(step int, grants []int)
 
 	mu      sync.Mutex
 	pool    int
+	classes []profiles.Class // the shared pool's hardware classes
+	counts  []int            // resolved per-class server counts
 	tenants []*Tenant
 	steps   int
 }
@@ -248,14 +271,36 @@ func (m *MultiController) bucketRatio() float64 {
 // NewMultiController validates the tenant set against the pool and wires
 // the arbiter. It fails when the pool cannot hold one replica per task of
 // every tenant simultaneously (the joint keep-warm minimum), when explicit
-// MinShares oversubscribe the pool, or when several tenants share the pool
-// but one of their planners cannot solve under a server cap.
+// MinShares oversubscribe the pool, when several tenants share the pool but
+// one of their planners cannot solve under a server cap, or when the
+// tenants describe the shared pool's hardware classes differently.
 func NewMultiController(pool int, tenants []*Tenant) (*MultiController, error) {
 	if pool <= 0 {
 		return nil, fmt.Errorf("core: multi-tenant pool needs a positive server count, got %d", pool)
 	}
 	if len(tenants) == 0 {
 		return nil, fmt.Errorf("core: no tenants registered")
+	}
+	// The hardware classes are a property of the one shared pool: every
+	// tenant must register the identical class set.
+	classes := tenants[0].Meta.Classes()
+	for _, t := range tenants[1:] {
+		if !profiles.SameClasses(classes, t.Meta.Classes()) {
+			return nil, fmt.Errorf("core: tenant %q describes different hardware classes than tenant %q — the shared pool has one class set", t.Name, tenants[0].Name)
+		}
+	}
+	counts := make([]int, len(classes))
+	total := 0
+	for i, cl := range classes {
+		counts[i] = cl.Count
+		total += cl.Count
+	}
+	if len(classes) == 1 && counts[0] == 0 {
+		counts[0] = pool
+		total = pool
+	}
+	if total != pool {
+		return nil, fmt.Errorf("core: pool size %d disagrees with the hardware classes' total count %d", pool, total)
 	}
 	reserved := 0.0
 	unreserved := 0
@@ -281,32 +326,60 @@ func NewMultiController(pool int, tenants []*Tenant) (*MultiController, error) {
 		implicit = (1 - reserved) / float64(unreserved)
 	}
 	minTotal := 0
-	floorTotal := 0
+	floorTotal := make([]int, len(classes))
 	for _, t := range tenants {
 		share := t.MinShare
 		if share == 0 {
 			share = implicit
 		}
-		floor := int(math.Floor(share * float64(pool)))
-		if warm := len(t.Meta.Graph().Tasks); floor < warm {
-			floor = warm
+		// WithShare floors apply per class: the guarantee is a slice of
+		// every class, so a guaranteed tenant keeps access to fast hardware
+		// under contention, not just to some servers somewhere.
+		t.floorByClass = make([]int, len(classes))
+		floorSum := 0
+		for c := range classes {
+			t.floorByClass[c] = int(math.Floor(share * float64(counts[c])))
+			floorSum += t.floorByClass[c]
 		}
-		t.floorServers = floor
+		// Keep-warm raise: the floor total must hold one replica per task.
+		// Raise class floors where capacity remains, visiting the largest
+		// classes first (ties by index): small-share tenants' keep-warm
+		// replicas then land on the roomy classes instead of piling onto a
+		// scarce fast class and spuriously oversubscribing its floors.
+		warm := len(t.Meta.Graph().Tasks)
+		order := make([]int, len(classes))
+		for c := range order {
+			order[c] = c
+		}
+		sort.SliceStable(order, func(x, y int) bool { return counts[order[x]] > counts[order[y]] })
+		for _, c := range order {
+			for t.floorByClass[c] < counts[c] && floorSum < warm {
+				t.floorByClass[c]++
+				floorSum++
+			}
+		}
+		if floorSum < warm {
+			return nil, fmt.Errorf("core: tenant %q cannot keep %d tasks warm within the pool", t.Name, warm)
+		}
 		t.cache = map[tenantPlanKey]cachedPlan{}
-		minTotal += len(t.Meta.Graph().Tasks)
-		floorTotal += floor
+		minTotal += warm
+		for c := range classes {
+			floorTotal[c] += t.floorByClass[c]
+		}
 	}
 	if minTotal > pool {
 		return nil, fmt.Errorf("core: pool of %d servers cannot keep %d tenant tasks warm (one replica each)", pool, minTotal)
 	}
 	// Floors are raised to each tenant's keep-warm task count, which can
-	// push their sum past the pool even when the raw shares fit; splitPool
+	// push their sum past a class even when the raw shares fit; splitPool
 	// grants up to every floor under contention, so an oversubscribed floor
-	// set would break the Σ grants ≤ pool invariant.
-	if floorTotal > pool {
-		return nil, fmt.Errorf("core: contention floors need %d servers (shares plus keep-warm minimums) but the pool holds %d", floorTotal, pool)
+	// set would break the Σ grants ≤ count invariant.
+	for c := range classes {
+		if floorTotal[c] > counts[c] {
+			return nil, fmt.Errorf("core: contention floors need %d servers of class %q (shares plus keep-warm minimums) but it holds %d", floorTotal[c], classes[c].Name, counts[c])
+		}
 	}
-	return &MultiController{pool: pool, tenants: tenants}, nil
+	return &MultiController{pool: pool, classes: classes, counts: counts, tenants: tenants}, nil
 }
 
 // Pool returns the shared pool size.
@@ -360,20 +433,24 @@ func (m *MultiController) Step(force bool) error {
 	return nil
 }
 
-// allocateLocked is the capacity-splitting outer loop. Both solve passes
-// fan out across tenants — each tenant's MILP is independent of the others'
-// — while the grant split between them stays deterministic: wants are
-// gathered at a barrier, split with the same largest-remainder arithmetic
-// as ever, and results are assembled in registration order.
+// allocateLocked is the capacity-splitting outer loop over per-class grant
+// vectors. Both solve passes fan out across tenants — each tenant's MILP is
+// independent of the others' — while the grant split between them stays
+// deterministic: per-class wants are gathered at a barrier, each class is
+// split with the same largest-remainder arithmetic as ever, idle capacity in
+// uncontended classes is lent to the constrained tenants (so a pipeline cut
+// on fast hardware may substitute slow hardware in its capped re-solve), and
+// results are assembled in registration order.
 func (m *MultiController) allocateLocked(demands []float64) error {
 	ratio := m.bucketRatio()
+	nc := len(m.counts)
 
 	// Desire pass: unconstrained solves at the planner's full cluster size
-	// (= the pool).
-	wants := make([]int, len(m.tenants))
+	// (= the whole pool).
+	wants := make([][]int, len(m.tenants))
 	plans := make([]*Plan, len(m.tenants))
 	err := m.forEachTenant(func(i int, t *Tenant) error {
-		plan, err := t.solve(demands[i], uncappedServers, ratio)
+		plan, err := t.solve(demands[i], nil, ratio)
 		if err != nil {
 			return fmt.Errorf("core: tenant %q allocation: %w", t.Name, err)
 		}
@@ -383,22 +460,56 @@ func (m *MultiController) allocateLocked(demands []float64) error {
 	if err != nil {
 		return err
 	}
-	total := 0
 	for i, plan := range plans {
-		wants[i] = plan.ServersUsed
-		total += plan.ServersUsed
+		wants[i] = m.classWants(plan)
+	}
+	contended := false
+	for c := 0; c < nc; c++ {
+		total := 0
+		for i := range wants {
+			total += wants[i][c]
+		}
+		if total > m.counts[c] {
+			contended = true
+		}
 	}
 
-	grants := append([]int(nil), wants...)
-	if total > m.pool {
-		grants = splitPool(m.pool, wants, m.tenants)
+	grants := make([][]int, len(m.tenants))
+	for i := range grants {
+		grants[i] = append([]int(nil), wants[i]...)
+	}
+	if contended {
+		// Split every class across tenants: min(want, floor) plus a
+		// largest-remainder share of the class's leftover.
+		for c := 0; c < nc; c++ {
+			wantsC := make([]int, len(m.tenants))
+			floorsC := make([]int, len(m.tenants))
+			for i, t := range m.tenants {
+				wantsC[i] = wants[i][c]
+				floorsC[i] = t.floorByClass[c]
+			}
+			grantsC := splitPool(m.counts[c], wantsC, floorsC)
+			for i := range m.tenants {
+				grants[i][c] = grantsC[i]
+			}
+		}
+		constrained := make([]bool, len(m.tenants))
+		for i := range m.tenants {
+			for c := 0; c < nc; c++ {
+				if grants[i][c] < wants[i][c] {
+					constrained[i] = true
+				}
+			}
+		}
+		m.lendSlack(grants, constrained)
+		m.ensureWarm(grants, wants, constrained)
 		err := m.forEachTenant(func(i int, t *Tenant) error {
-			if grants[i] >= wants[i] {
+			if !constrained[i] {
 				return nil
 			}
 			plan, err := t.solve(demands[i], grants[i], ratio)
 			if err != nil {
-				return fmt.Errorf("core: tenant %q capped allocation (%d servers): %w", t.Name, grants[i], err)
+				return fmt.Errorf("core: tenant %q capped allocation (%v servers): %w", t.Name, grants[i], err)
 			}
 			plans[i] = plan
 			return nil
@@ -412,9 +523,157 @@ func (m *MultiController) allocateLocked(demands []float64) error {
 		t.grant = grants[i]
 	}
 	if m.OnGrants != nil {
-		m.OnGrants(m.steps, append([]int(nil), grants...))
+		totals := make([]int, len(m.tenants))
+		for i := range m.tenants {
+			totals[i] = sumInts(grants[i])
+		}
+		m.OnGrants(m.steps, totals)
 	}
 	return nil
+}
+
+// classWants returns a plan's per-class server demand as a vector sized to
+// the pool's class set, falling back to summing assignments for planners
+// that do not fill ServersByClass (hand-built or baseline plans on the
+// homogeneous path).
+func (m *MultiController) classWants(plan *Plan) []int {
+	out := make([]int, len(m.counts))
+	if len(plan.ServersByClass) == len(out) {
+		copy(out, plan.ServersByClass)
+		return out
+	}
+	for _, a := range plan.Assignments {
+		c := a.Class
+		if c < 0 || c >= len(out) {
+			c = 0
+		}
+		out[c] += a.Replicas
+	}
+	return out
+}
+
+// lendSlack distributes every class's unallocated servers across the
+// constrained tenants (largest remainder of an equal split, ties broken by
+// registration order) and then, as a last resort, raises any constrained
+// tenant whose total grant dropped below its keep-warm minimum from whatever
+// class capacity remains. Idle hardware is never stranded while some tenant
+// is being cut — the vector analogue of "an idle tenant's guarantee is lent
+// to whoever wants it".
+func (m *MultiController) lendSlack(grants [][]int, constrained []bool) {
+	nHungry := 0
+	for _, c := range constrained {
+		if c {
+			nHungry++
+		}
+	}
+	if nHungry == 0 {
+		return
+	}
+	for c := range m.counts {
+		free := m.counts[c]
+		for i := range grants {
+			free -= grants[i][c]
+		}
+		if free <= 0 {
+			continue
+		}
+		each := free / nHungry
+		rem := free - each*nHungry
+		for i := range grants {
+			if !constrained[i] {
+				continue
+			}
+			grants[i][c] += each
+			if rem > 0 {
+				grants[i][c]++
+				rem--
+			}
+		}
+	}
+}
+
+// ensureWarm guarantees every tenant's grant vector can hold one replica per
+// task, which the capped solve requires. A per-class split can land below
+// that even though the floors cover it: min(want, floor) takes nothing from
+// classes the tenant did not ask for, so a tenant that concentrated its want
+// on a contended class may be cut there while its floor slice of the other
+// classes sits granted to neighbours. The repair claims capacity — free
+// servers first, then servers granted to other tenants *above their own
+// floors* (largest excess first, lowest index on ties) — only in classes
+// where the tenant is still below its floor, and never pushes a donor below
+// its floors or its own keep-warm minimum; the floor validation in
+// NewMultiController guarantees that much capacity exists. Shrunk donors are
+// marked constrained so they re-solve inside their reduced vectors.
+func (m *MultiController) ensureWarm(grants [][]int, wants [][]int, constrained []bool) {
+	warms := make([]int, len(m.tenants))
+	for i, t := range m.tenants {
+		warms[i] = len(t.Meta.Graph().Tasks)
+	}
+	for i, t := range m.tenants {
+		need := warms[i] - sumInts(grants[i])
+		if need <= 0 {
+			continue
+		}
+		constrained[i] = true
+		for c := 0; c < len(m.counts) && need > 0; c++ {
+			claim := t.floorByClass[c] - grants[i][c]
+			if claim > need {
+				claim = need
+			}
+			if claim <= 0 {
+				continue
+			}
+			free := m.counts[c]
+			for j := range grants {
+				free -= grants[j][c]
+			}
+			if free > claim {
+				free = claim
+			}
+			if free > 0 {
+				grants[i][c] += free
+				need -= free
+				claim -= free
+			}
+			for claim > 0 {
+				donor, excess := -1, 0
+				for j := range m.tenants {
+					if j == i {
+						continue
+					}
+					e := grants[j][c] - m.tenants[j].floorByClass[c]
+					if spare := sumInts(grants[j]) - warms[j]; spare < e {
+						e = spare
+					}
+					if e > excess {
+						donor, excess = j, e
+					}
+				}
+				if donor < 0 {
+					break
+				}
+				d := excess
+				if d > claim {
+					d = claim
+				}
+				grants[donor][c] -= d
+				grants[i][c] += d
+				need -= d
+				claim -= d
+				if grants[donor][c] < wants[donor][c] {
+					constrained[donor] = true
+				}
+			}
+		}
+	}
+}
+
+func sumInts(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
 }
 
 // forEachTenant runs fn once per tenant. Unless Sequential is set (or the
@@ -458,18 +717,19 @@ func (m *MultiController) forEachTenant(fn func(i int, t *Tenant) error) error {
 	return nil
 }
 
-// splitPool grants each tenant min(want, floor), then splits the leftover
-// across still-hungry tenants proportionally to unmet want, with
+// splitPool splits one capacity pool (the whole cluster, or one hardware
+// class of it): each tenant gets min(want, floor), then the leftover is
+// split across still-hungry tenants proportionally to unmet want, with
 // largest-remainder rounding (ties broken by registration order, for
 // determinism).
-func splitPool(pool int, wants []int, tenants []*Tenant) []int {
+func splitPool(pool int, wants, floors []int) []int {
 	grants := make([]int, len(wants))
 	left := pool
 	unmetSum := 0
-	for i, t := range tenants {
+	for i := range wants {
 		g := wants[i]
-		if g > t.floorServers {
-			g = t.floorServers
+		if g > floors[i] {
+			g = floors[i]
 		}
 		grants[i] = g
 		left -= g
@@ -484,7 +744,7 @@ func splitPool(pool int, wants []int, tenants []*Tenant) []int {
 	}
 	fracs := make([]frac, 0, len(wants))
 	used := 0
-	for i := range tenants {
+	for i := range wants {
 		unmet := wants[i] - grants[i]
 		if unmet <= 0 {
 			continue
@@ -550,25 +810,48 @@ func (m *MultiController) RoutesOf(i int) *Routes {
 	return m.tenants[i].routes
 }
 
-// Grants returns the servers currently granted to each tenant, in
-// registration order. The sum never exceeds the pool.
+// Grants returns the servers currently granted to each tenant (summed over
+// hardware classes), in registration order. The sum never exceeds the pool.
 func (m *MultiController) Grants() []int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := make([]int, len(m.tenants))
 	for i, t := range m.tenants {
-		out[i] = t.grant
+		out[i] = sumInts(t.grant)
 	}
 	return out
 }
 
-// Floors returns each tenant's resolved contention guarantee in servers.
+// ClassGrants returns each tenant's standing grant vector (servers per
+// hardware class, in class order), in registration order. Per class, the
+// column sums never exceed that class's server count.
+func (m *MultiController) ClassGrants() [][]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([][]int, len(m.tenants))
+	for i, t := range m.tenants {
+		out[i] = append([]int(nil), t.grant...)
+	}
+	return out
+}
+
+// Classes returns the shared pool's hardware classes with resolved counts.
+func (m *MultiController) Classes() []profiles.Class {
+	out := append([]profiles.Class(nil), m.classes...)
+	for i := range out {
+		out[i].Count = m.counts[i]
+	}
+	return out
+}
+
+// Floors returns each tenant's resolved contention guarantee in servers
+// (summed over hardware classes).
 func (m *MultiController) Floors() []int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := make([]int, len(m.tenants))
 	for i, t := range m.tenants {
-		out[i] = t.floorServers
+		out[i] = sumInts(t.floorByClass)
 	}
 	return out
 }

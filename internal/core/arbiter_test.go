@@ -28,13 +28,6 @@ func arbiterTenant(t *testing.T, name string, pool int, minShare float64) *Tenan
 // splitPool: floors bind under contention, leftover goes to the hungry
 // proportionally, and the result never exceeds the pool.
 func TestSplitPool(t *testing.T) {
-	mk := func(floors ...int) []*Tenant {
-		out := make([]*Tenant, len(floors))
-		for i, f := range floors {
-			out[i] = &Tenant{floorServers: f}
-		}
-		return out
-	}
 	cases := []struct {
 		pool   int
 		wants  []int
@@ -53,7 +46,7 @@ func TestSplitPool(t *testing.T) {
 		{30, []int{25, 25, 2}, []int{10, 10, 10}, []int{14, 14, 2}},
 	}
 	for i, c := range cases {
-		got := splitPool(c.pool, c.wants, mk(c.floors...))
+		got := splitPool(c.pool, c.wants, c.floors)
 		total := 0
 		for j := range got {
 			if got[j] != c.want[j] {

@@ -97,7 +97,7 @@ func (c *Controller) Step(force bool) error {
 		return nil
 	}
 
-	plan, err := t.solve(demand, uncappedServers, legacyBucketRatio)
+	plan, err := t.solve(demand, nil, legacyBucketRatio)
 	if err != nil {
 		return err
 	}

@@ -18,9 +18,13 @@ func (r *recordingPlanner) Allocate(demand float64) (*Plan, error) {
 	return &Plan{ServersUsed: r.servers}, nil
 }
 
-func (r *recordingPlanner) AllocateCapped(demand float64, servers int) (*Plan, error) {
+func (r *recordingPlanner) AllocateCapped(demand float64, caps []int) (*Plan, error) {
 	r.demands = append(r.demands, demand)
-	return &Plan{ServersUsed: servers}, nil
+	total := 0
+	for _, n := range caps {
+		total += n
+	}
+	return &Plan{ServersUsed: total}, nil
 }
 
 // stubForecaster predicts a fixed value regardless of history.

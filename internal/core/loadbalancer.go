@@ -13,10 +13,18 @@ type WorkerID int
 // of which task, the maximum batch size, and the profiled characteristics
 // the Load Balancer and drop policies need at routing time.
 type WorkerSpec struct {
-	ID         WorkerID
-	Task       pipeline.TaskID
-	Variant    int
-	MaxBatch   int
+	ID       WorkerID
+	Task     pipeline.TaskID
+	Variant  int
+	MaxBatch int
+	// Class is the hardware class this replica must be hosted on (index into
+	// the cluster's class set, with ClassName its registered name); the
+	// engines place the spec on a physical worker of that class and swap
+	// models only within it. QPS and LatencySec are profiled on the class,
+	// so the Load Balancer's capacity fill weights routes by class-specific
+	// service rate for free.
+	Class      int
+	ClassName  string
 	QPS        float64
 	LatencySec float64
 	Accuracy   float64
@@ -34,6 +42,8 @@ func ExpandPlan(plan *Plan) []WorkerSpec {
 				Task:       a.Task,
 				Variant:    a.Variant,
 				MaxBatch:   a.MaxBatch,
+				Class:      a.Class,
+				ClassName:  a.ClassName,
 				QPS:        a.QPS,
 				LatencySec: a.LatencySec,
 				Accuracy:   a.Accuracy,

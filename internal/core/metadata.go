@@ -23,10 +23,11 @@ const demandHistoryLen = 512
 type MetadataStore struct {
 	mu sync.RWMutex
 
-	graph    *pipeline.Graph
-	profiles [][]profiles.Profile // [task][variant]
-	sloSec   float64
-	batches  []int
+	graph     *pipeline.Graph
+	classes   []profiles.Class       // the cluster's hardware classes
+	classProf [][][]profiles.Profile // [class][task][variant]
+	sloSec    float64
+	batches   []int
 
 	demand trace.EWMA // smoothed incoming demand estimate
 
@@ -50,13 +51,27 @@ type MetadataStore struct {
 }
 
 // NewMetadataStore registers a pipeline, its profiles, and the latency SLO —
-// the initial-setup step of §3.
+// the initial-setup step of §3. The cluster is treated as one homogeneous
+// "default" hardware class whose size the Resource Manager supplies
+// (AllocatorOptions.Servers); heterogeneous fleets register through
+// NewMetadataStoreHetero.
 func NewMetadataStore(g *pipeline.Graph, prof [][]profiles.Profile, sloSec float64, batches []int) *MetadataStore {
+	return NewMetadataStoreHetero(g,
+		[]profiles.Class{{Name: profiles.DefaultClassName, Speed: 1.0}},
+		[][][]profiles.Profile{prof}, sloSec, batches)
+}
+
+// NewMetadataStoreHetero registers a pipeline with per-class performance
+// profiles (classProf indexed [class][task][variant], aligned with classes).
+// A single class named "default" with Count 0 defers the cluster size to
+// AllocatorOptions.Servers — the homogeneous compatibility path.
+func NewMetadataStoreHetero(g *pipeline.Graph, classes []profiles.Class, classProf [][][]profiles.Profile, sloSec float64, batches []int) *MetadataStore {
 	m := &MetadataStore{
-		graph:    g,
-		profiles: prof,
-		sloSec:   sloSec,
-		batches:  append([]int(nil), batches...),
+		graph:     g,
+		classes:   append([]profiles.Class(nil), classes...),
+		classProf: classProf,
+		sloSec:    sloSec,
+		batches:   append([]int(nil), batches...),
 	}
 	m.demand = trace.EWMA{Alpha: 0.35}
 	m.multFactors = make([][]trace.EWMA, len(g.Tasks))
@@ -73,8 +88,18 @@ func NewMetadataStore(g *pipeline.Graph, prof [][]profiles.Profile, sloSec float
 // Graph returns the registered pipeline graph.
 func (m *MetadataStore) Graph() *pipeline.Graph { return m.graph }
 
-// Profiles returns the profiled performance tables.
-func (m *MetadataStore) Profiles() [][]profiles.Profile { return m.profiles }
+// Profiles returns the reference class's profiled performance tables (class
+// 0 — on a homogeneous cluster, the only tables there are).
+func (m *MetadataStore) Profiles() [][]profiles.Profile { return m.classProf[0] }
+
+// ClassProfiles returns the per-class performance tables, indexed
+// [class][task][variant] and aligned with Classes.
+func (m *MetadataStore) ClassProfiles() [][][]profiles.Profile { return m.classProf }
+
+// Classes returns the cluster's hardware classes. The homogeneous
+// compatibility path registers one "default" class whose Count of 0 defers
+// the cluster size to AllocatorOptions.Servers.
+func (m *MetadataStore) Classes() []profiles.Class { return m.classes }
 
 // SLO returns the end-to-end latency SLO in seconds.
 func (m *MetadataStore) SLO() float64 { return m.sloSec }

@@ -53,6 +53,13 @@ type Assignment struct {
 	MaxBatch int
 	Replicas int
 
+	// Class is the hardware class hosting these replicas (index into the
+	// cluster's class set; 0 on a homogeneous cluster) and ClassName its
+	// registered name. Latency and throughput below are profiled on this
+	// class, so the same variant on a faster class is a distinct assignment.
+	Class     int
+	ClassName string
+
 	// Profiled characteristics of one replica under this configuration,
 	// copied from the Metadata Store at allocation time.
 	QPS        float64 // throughput of one replica
@@ -82,6 +89,13 @@ type Plan struct {
 	Mode        Mode
 	Demand      float64 // demand (QPS) the plan was sized for
 	ServersUsed int
+	// ServersByClass is ServersUsed broken down per hardware class (indexed
+	// like the cluster's class set). The multi-tenant arbiter splits these
+	// vectors, not scalar counts, when the pool is contended.
+	ServersByClass []int
+	// CostPerHour is the plan's dollar rate: active replicas weighted by
+	// their class's CostPerHour. Zero on unpriced fleets.
+	CostPerHour float64
 	// ServedFraction is 1 except in Saturated mode, where it is the
 	// fraction of demand the plan can serve.
 	ServedFraction float64
@@ -131,21 +145,50 @@ func (p *Plan) Capacity(task pipeline.TaskID) float64 {
 	return c
 }
 
-// String renders a human-readable summary.
+// ClassUsage returns the replicas the plan hosts on each hardware class,
+// keyed by class name, by summing the assignments (hand-built plans without
+// class labels report under "default").
+func (p *Plan) ClassUsage() map[string]int {
+	out := map[string]int{}
+	for _, a := range p.Assignments {
+		name := a.ClassName
+		if name == "" {
+			name = "default"
+		}
+		out[name] += a.Replicas
+	}
+	return out
+}
+
+// String renders a human-readable summary. Hardware-class detail (the
+// per-assignment class and the plan's dollar rate) appears only on
+// heterogeneous or priced fleets, keeping homogeneous zero-cost output
+// identical to the pre-class format.
 func (p *Plan) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "plan[%s] demand=%.1f served=%.0f%% servers=%d acc=%.4f\n",
+	fmt.Fprintf(&b, "plan[%s] demand=%.1f served=%.0f%% servers=%d acc=%.4f",
 		p.Mode, p.Demand, 100*p.ServedFraction, p.ServersUsed, p.ExpectedAccuracy)
+	if p.CostPerHour > 0 {
+		fmt.Fprintf(&b, " cost=%.2f/h", p.CostPerHour)
+	}
+	b.WriteString("\n")
 	as := append([]Assignment(nil), p.Assignments...)
 	sort.Slice(as, func(i, j int) bool {
 		if as[i].Task != as[j].Task {
 			return as[i].Task < as[j].Task
 		}
-		return as[i].Variant < as[j].Variant
+		if as[i].Variant != as[j].Variant {
+			return as[i].Variant < as[j].Variant
+		}
+		return as[i].Class < as[j].Class
 	})
 	for _, a := range as {
-		fmt.Fprintf(&b, "  task %d variant %d batch %-3d × %-3d (%.1f qps/replica, acc %.3f)\n",
+		fmt.Fprintf(&b, "  task %d variant %d batch %-3d × %-3d (%.1f qps/replica, acc %.3f",
 			a.Task, a.Variant, a.MaxBatch, a.Replicas, a.QPS, a.Accuracy)
+		if a.ClassName != "" && a.ClassName != "default" {
+			fmt.Fprintf(&b, ", class %s", a.ClassName)
+		}
+		b.WriteString(")\n")
 	}
 	return b.String()
 }

@@ -62,7 +62,7 @@ func BenchmarkAllocateCapped(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := a.AllocateCapped(210, caps[i%len(caps)]); err != nil {
+				if _, err := a.AllocateCapped(210, []int{caps[i%len(caps)]}); err != nil {
 					b.Fatal(err)
 				}
 			}

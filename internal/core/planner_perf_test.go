@@ -41,7 +41,7 @@ func TestCappedSolveReusesBuiltModel(t *testing.T) {
 	if builds == 0 {
 		t.Fatal("expected at least one model build")
 	}
-	if _, err := a.AllocateCapped(150, 12); err != nil {
+	if _, err := a.AllocateCapped(150, []int{12}); err != nil {
 		t.Fatal(err)
 	}
 	perf := a.Perf()
@@ -83,11 +83,11 @@ func TestReusePreservesPlans(t *testing.T) {
 		comparePlans(t, "uncapped", demand, pf, pc)
 
 		cap := 8 + rng.Intn(8)
-		pf, err = fast.AllocateCapped(demand, cap)
+		pf, err = fast.AllocateCapped(demand, []int{cap})
 		if err != nil {
 			t.Fatal(err)
 		}
-		pc, err = cold.AllocateCapped(demand, cap)
+		pc, err = cold.AllocateCapped(demand, []int{cap})
 		if err != nil {
 			t.Fatal(err)
 		}

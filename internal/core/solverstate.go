@@ -8,10 +8,10 @@ import (
 
 // solverState is the Allocator's reusable solving machinery, shared between
 // an allocator and every Capped view derived from it (the views differ only
-// in the cluster-size bound, which is a single RHS value). It memoizes built
+// in the per-class server bounds, which are RHS values). It memoizes built
 // LP models per (demand, step) — the arbiter's capacity-splitting loop
-// solves the same demand under several server caps, and only the
-// cluster-size row's RHS differs between those solves — remembers the last
+// solves the same demand under several grant vectors, and only the class
+// capacity rows' RHS differ between those solves — remembers the last
 // solution per optimization step as a warm start for the next adaptation
 // round, and recycles the LP tableau buffers across every solve.
 //
@@ -32,8 +32,8 @@ type solverState struct {
 
 // builtKey identifies a built LP model: the exact demand (capacity-row
 // coefficients scale with it) and the optimization step (variable layout and
-// objective). The cluster-size bound is deliberately absent — it is swapped
-// on the shared model per solve.
+// objective). The per-class server bounds are deliberately absent — they are
+// swapped on the shared model per solve.
 type builtKey struct {
 	demand float64
 	step   stepKind
@@ -42,11 +42,11 @@ type builtKey struct {
 // builtLP is one constructed step model plus the metadata needed to extract
 // plans from its solution vectors.
 type builtLP struct {
-	useCfg     []bool
-	cfgVar     []int
-	nvars      int
-	clusterRow int
-	prob       *lp.Problem
+	useCfg      []bool
+	cfgVar      []int
+	nvars       int
+	clusterRows []int // per-class capacity rows, in class order
+	prob        *lp.Problem
 }
 
 // maxBuiltModels bounds the model memo; demand levels churn continuously in
@@ -93,8 +93,8 @@ func (a *Allocator) builtFor(demand float64, step stepKind) *builtLP {
 			return bl
 		}
 	}
-	useCfg, cfgVar, nvars, clusterRow, prob := a.buildLP(demand, step)
-	bl := &builtLP{useCfg: useCfg, cfgVar: cfgVar, nvars: nvars, clusterRow: clusterRow, prob: prob}
+	useCfg, cfgVar, nvars, clusterRows, prob := a.buildLP(demand, step)
+	bl := &builtLP{useCfg: useCfg, cfgVar: cfgVar, nvars: nvars, clusterRows: clusterRows, prob: prob}
 	st.modelBuilds++
 	if !a.Opts.DisableReuse {
 		if len(st.built) >= maxBuiltModels {

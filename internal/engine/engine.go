@@ -18,6 +18,7 @@ import (
 	"loki/internal/metrics"
 	"loki/internal/pipeline"
 	"loki/internal/policy"
+	"loki/internal/profiles"
 	"loki/internal/trace"
 )
 
@@ -40,7 +41,11 @@ type Config struct {
 	Policy    policy.Policy
 	Collector *metrics.Collector
 
-	Servers        int
+	Servers int
+	// Classes partitions the pool into hardware classes (see
+	// cluster.Options.Classes). Nil means one homogeneous "default" class
+	// of Servers workers at speed 1.0.
+	Classes        []profiles.Class
 	SLOSec         float64
 	NetLatencySec  float64
 	Seed           int64
@@ -143,4 +148,9 @@ type Engine interface {
 
 	// ActiveServers counts workers currently hosting a model.
 	ActiveServers() int
+
+	// ActiveByClass counts workers currently hosting a model in each
+	// hardware class, in class order (a single-element slice on
+	// homogeneous pools).
+	ActiveByClass() []int
 }

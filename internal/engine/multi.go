@@ -12,6 +12,7 @@ import (
 	"loki/internal/metrics"
 	"loki/internal/pipeline"
 	"loki/internal/policy"
+	"loki/internal/profiles"
 	"loki/internal/sim"
 	"loki/internal/trace"
 )
@@ -37,7 +38,11 @@ type MultiConfig struct {
 	// Servers is the shared pool size. Each tenant engine exposes this many
 	// physical slots; the joint controller's grants keep the sum of active
 	// workers within it.
-	Servers        int
+	Servers int
+	// Classes partitions the shared pool into hardware classes, identically
+	// for every tenant (see cluster.Options.Classes). Nil means one
+	// homogeneous "default" class.
+	Classes        []profiles.Class
 	NetLatencySec  float64
 	Seed           int64
 	SwapLatencySec float64
@@ -113,6 +118,10 @@ type MultiEngine interface {
 
 	// ActiveServers counts one tenant's workers currently hosting a model.
 	ActiveServers(tenant int) int
+
+	// ActiveByClass counts one tenant's workers currently hosting a model
+	// in each hardware class, in class order.
+	ActiveByClass(tenant int) []int
 }
 
 // NewMulti builds the multi-tenant backend of the given kind — the shared
@@ -154,6 +163,7 @@ func newMultiSimulated(cfg MultiConfig) (MultiEngine, error) {
 	for i, t := range cfg.Tenants {
 		cl, err := cluster.New(eng, t.Meta, t.Policy, t.Collector, cluster.Options{
 			Servers:        cfg.Servers,
+			Classes:        cfg.Classes,
 			SLOSec:         t.SLOSec,
 			NetLatencySec:  cfg.NetLatencySec,
 			Seed:           cfg.Seed + 1 + 2*int64(i),
@@ -334,6 +344,8 @@ func (m *multiSimulated) Now() float64 { return m.eng.Now() }
 
 func (m *multiSimulated) ActiveServers(tenant int) int { return m.cls[tenant].ActiveServers() }
 
+func (m *multiSimulated) ActiveByClass(tenant int) []int { return m.cls[tenant].ActiveByClass() }
+
 // multiWallclock hosts one live.Engine per tenant. Real time is naturally
 // shared, so tenant engines run their own goroutine workers and FeedAll
 // plays the traces concurrently. Only tenant 0's housekeeping loop drives
@@ -355,6 +367,7 @@ func newMultiWallclock(cfg MultiConfig) (MultiEngine, error) {
 	for i, t := range cfg.Tenants {
 		e, err := live.New(t.Meta, t.Policy, t.Collector, live.Options{
 			Servers:       cfg.Servers,
+			Classes:       cfg.Classes,
 			SLOSec:        t.SLOSec,
 			NetLatencySec: cfg.NetLatencySec,
 			Seed:          cfg.Seed + 1 + 2*int64(i),
@@ -452,3 +465,5 @@ func (m *multiWallclock) Stats(tenant int) Stats {
 func (m *multiWallclock) Now() float64 { return m.es[0].Now() }
 
 func (m *multiWallclock) ActiveServers(tenant int) int { return m.es[tenant].ActiveServers() }
+
+func (m *multiWallclock) ActiveByClass(tenant int) []int { return m.es[tenant].ActiveByClass() }

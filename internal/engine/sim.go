@@ -34,6 +34,7 @@ func NewSimulated(cfg Config) (Engine, error) {
 	eng := &sim.Engine{}
 	cl, err := cluster.New(eng, cfg.Meta, cfg.Policy, cfg.Collector, cluster.Options{
 		Servers:        cfg.Servers,
+		Classes:        cfg.Classes,
 		SLOSec:         cfg.SLOSec,
 		NetLatencySec:  cfg.NetLatencySec,
 		Seed:           cfg.Seed + 1,
@@ -179,3 +180,5 @@ func (s *simulated) Stats() Stats {
 func (s *simulated) Now() float64 { return s.eng.Now() }
 
 func (s *simulated) ActiveServers() int { return s.cl.ActiveServers() }
+
+func (s *simulated) ActiveByClass() []int { return s.cl.ActiveByClass() }

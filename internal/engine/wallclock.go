@@ -22,6 +22,7 @@ func NewWallclock(cfg Config) (Engine, error) {
 	}
 	e, err := live.New(cfg.Meta, cfg.Policy, cfg.Collector, live.Options{
 		Servers:       cfg.Servers,
+		Classes:       cfg.Classes,
 		SLOSec:        cfg.SLOSec,
 		NetLatencySec: cfg.NetLatencySec,
 		Seed:          cfg.Seed + 1,
@@ -67,3 +68,5 @@ func (w *wallclock) Stats() Stats {
 func (w *wallclock) Now() float64 { return w.e.Now() }
 
 func (w *wallclock) ActiveServers() int { return w.e.ActiveServers() }
+
+func (w *wallclock) ActiveByClass() []int { return w.e.ActiveByClass() }

@@ -1,0 +1,36 @@
+package experiments
+
+import "testing"
+
+// The mixed-fleet acceptance: on the recorded scenario the planner must
+// extract real value from heterogeneity — SLO attainment at least matching
+// the speed-equivalent homogeneous fleet at strictly lower cost per query —
+// and the plan must actually spread across classes rather than collapsing
+// onto one.
+func TestHeteroBeatsSpeedEquivalentHomogeneous(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size serving runs; skipped with -short")
+	}
+	r, err := Hetero(HeteroConfig{TraceSteps: 24, StepSec: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatHetero(r))
+	if r.Hetero.SLOAttainment < r.Homogeneous.SLOAttainment {
+		t.Errorf("hetero SLO attainment %.4f below the homogeneous baseline %.4f",
+			r.Hetero.SLOAttainment, r.Homogeneous.SLOAttainment)
+	}
+	if r.Hetero.CostPerQuery >= r.Homogeneous.CostPerQuery {
+		t.Errorf("hetero cost/query %.8f not strictly below homogeneous %.8f",
+			r.Hetero.CostPerQuery, r.Homogeneous.CostPerQuery)
+	}
+	used := 0
+	for _, mean := range r.Hetero.ServersByClass {
+		if mean > 0.5 {
+			used++
+		}
+	}
+	if used < 2 {
+		t.Errorf("hetero plan collapsed onto %d hardware class(es): %v", used, r.Hetero.ServersByClass)
+	}
+}

@@ -64,7 +64,11 @@ type RunConfig struct {
 	Backend  Backend
 	Policy   policy.Policy // nil means opportunistic rerouting (Loki default)
 
-	Servers        int
+	Servers int
+	// Classes partitions the cluster into hardware classes (nil = one
+	// homogeneous "default" class of Servers workers); when set, Servers is
+	// derived from the class counts.
+	Classes        []profiles.Class
 	SLOSec         float64
 	NetLatencySec  float64
 	Seed           int64
@@ -87,6 +91,9 @@ type RunConfig struct {
 }
 
 func (cfg *RunConfig) defaults() {
+	if len(cfg.Classes) > 0 {
+		cfg.Servers = profiles.TotalCount(cfg.Classes)
+	}
 	if cfg.Servers == 0 {
 		cfg.Servers = 20
 	}
@@ -197,9 +204,15 @@ func Run(cfg RunConfig) (*RunResult, error) {
 		return nil, err
 	}
 
-	prof := (&profiles.Profiler{Jitter: cfg.ProfileJitter, Seed: cfg.Seed}).
-		ProfileGraph(cfg.Graph, profiles.Batches)
-	meta := core.NewMetadataStore(cfg.Graph, prof, cfg.SLOSec, profiles.Batches)
+	pr := &profiles.Profiler{Jitter: cfg.ProfileJitter, Seed: cfg.Seed}
+	var meta *core.MetadataStore
+	if len(cfg.Classes) > 0 {
+		meta = core.NewMetadataStoreHetero(cfg.Graph, cfg.Classes,
+			pr.ProfileGraphClasses(cfg.Graph, profiles.Batches, cfg.Classes), cfg.SLOSec, profiles.Batches)
+	} else {
+		meta = core.NewMetadataStore(cfg.Graph, pr.ProfileGraph(cfg.Graph, profiles.Batches),
+			cfg.SLOSec, profiles.Batches)
+	}
 
 	aopts := core.AllocatorOptions{
 		Servers:         cfg.Servers,
@@ -217,11 +230,21 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	timed := &timedPlanner{inner: planner}
 
 	col := metrics.NewCollector(cfg.BucketSec, cfg.Servers)
+	if len(cfg.Classes) > 0 {
+		names := make([]string, len(cfg.Classes))
+		costs := make([]float64, len(cfg.Classes))
+		for i, cl := range cfg.Classes {
+			names[i] = cl.Name
+			costs[i] = cl.CostPerHour
+		}
+		col.SetClasses(names, costs)
+	}
 	ecfg := engine.Config{
 		Meta:           meta,
 		Policy:         cfg.Policy,
 		Collector:      col,
 		Servers:        cfg.Servers,
+		Classes:        cfg.Classes,
 		SLOSec:         cfg.SLOSec,
 		NetLatencySec:  cfg.NetLatencySec,
 		Seed:           cfg.Seed,
@@ -288,6 +311,6 @@ func (p *inferLinePlanner) Allocate(d float64) (*core.Plan, error) {
 	return p.b.Allocate(d)
 }
 
-func (p *inferLinePlanner) AllocateCapped(d float64, servers int) (*core.Plan, error) {
-	return p.b.AllocateCapped(d, servers)
+func (p *inferLinePlanner) AllocateCapped(d float64, caps []int) (*core.Plan, error) {
+	return p.b.AllocateCapped(d, caps)
 }

@@ -19,12 +19,18 @@ import (
 	"loki/internal/metrics"
 	"loki/internal/pipeline"
 	"loki/internal/policy"
+	"loki/internal/profiles"
 	"loki/internal/trace"
 )
 
 // Options configures the live engine.
 type Options struct {
-	Servers       int
+	Servers int
+	// Classes partitions the workers into hardware classes exactly as in
+	// cluster.Options: contiguous physical ranges, per-class execution
+	// speed, swaps confined to a class. Nil means one "default" class at
+	// speed 1.0.
+	Classes       []profiles.Class
 	SLOSec        float64
 	NetLatencySec float64
 	Seed          int64
@@ -85,6 +91,8 @@ type Engine struct {
 
 type worker struct {
 	phys  int
+	class int        // hardware class index
+	speed float64    // the class's execution speed
 	cond  *sync.Cond // waits on the engine mutex
 	spec  *core.WorkerSpec
 	queue []*subreq
@@ -112,6 +120,14 @@ type subreq struct {
 
 // New builds a live engine.
 func New(meta *core.MetadataStore, pol policy.Policy, col *metrics.Collector, opts Options) (*Engine, error) {
+	if opts.Classes == nil {
+		opts.Classes = profiles.DefaultClasses(opts.Servers)
+	}
+	if total := profiles.TotalCount(opts.Classes); opts.Servers == 0 {
+		opts.Servers = total
+	} else if opts.Servers != total {
+		return nil, fmt.Errorf("live: Servers (%d) disagrees with the hardware classes' total count (%d)", opts.Servers, total)
+	}
 	if opts.Servers <= 0 {
 		return nil, fmt.Errorf("live: need a positive server count")
 	}
@@ -137,21 +153,29 @@ func New(meta *core.MetadataStore, pol policy.Policy, col *metrics.Collector, op
 		logical:    map[core.WorkerID]*worker{},
 		backupLeft: map[core.WorkerID]float64{},
 	}
-	for i := 0; i < opts.Servers; i++ {
-		w := &worker{phys: i}
-		w.cond = sync.NewCond(&e.mu)
-		e.workers = append(e.workers, w)
+	for cl, class := range opts.Classes {
+		speed := class.Speed
+		if speed == 0 {
+			speed = 1.0
+		}
+		for i := 0; i < class.Count; i++ {
+			w := &worker{phys: len(e.workers), class: cl, speed: speed}
+			w.cond = sync.NewCond(&e.mu)
+			e.workers = append(e.workers, w)
+		}
 	}
 	e.taskArrivals = make([]int, len(meta.Graph().Tasks))
-	prof := meta.Profiles()
+	classProf := meta.ClassProfiles()
 	e.minTail = make([]float64, len(e.g.Tasks))
 	var tail func(t pipeline.TaskID) float64
 	tail = func(t pipeline.TaskID) float64 {
 		minExec := math.Inf(1)
-		for k := range prof[t] {
-			for _, l := range prof[t][k].LatencySec {
-				if l < minExec {
-					minExec = l
+		for _, prof := range classProf {
+			for k := range prof[t] {
+				for _, l := range prof[t][k].LatencySec {
+					if l < minExec {
+						minExec = l
+					}
 				}
 			}
 		}
@@ -188,7 +212,7 @@ func (e *Engine) ApplyPlan(plan *core.Plan, routes *core.Routes) {
 	e.routes = routes
 
 	key := func(s *core.WorkerSpec) string {
-		return fmt.Sprintf("%d/%d/%d", s.Task, s.Variant, s.MaxBatch)
+		return fmt.Sprintf("%d/%d/%d/%d", s.Task, s.Variant, s.MaxBatch, s.Class)
 	}
 	claimed := make([]bool, len(e.workers))
 	assign := make([]*core.WorkerSpec, len(e.workers))
@@ -209,8 +233,8 @@ func (e *Engine) ApplyPlan(plan *core.Plan, routes *core.Routes) {
 		}
 	}
 	for _, s := range unmatched {
-		for wi := range e.workers {
-			if !claimed[wi] {
+		for wi, w := range e.workers {
+			if !claimed[wi] && w.class == s.Class {
 				claimed[wi] = true
 				assign[wi] = s
 				break
@@ -268,6 +292,20 @@ func (e *Engine) ActiveServers() int {
 		}
 	}
 	return n
+}
+
+// ActiveByClass counts workers hosting a model in each hardware class, in
+// class order.
+func (e *Engine) ActiveByClass() []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]int, len(e.opts.Classes))
+	for _, w := range e.workers {
+		if w.spec != nil {
+			out[w.class]++
+		}
+	}
+	return out
 }
 
 // Start launches the worker goroutines and the housekeeping loop
@@ -346,9 +384,11 @@ func (e *Engine) housekeeping() {
 			w.hbIn, w.hbOut = 0, 0
 		}
 		active := 0
+		activeByClass := make([]int, len(e.opts.Classes))
 		for _, w := range e.workers {
 			if w.spec != nil {
 				active++
+				activeByClass[w.class]++
 			}
 		}
 		tr := e.curTrace
@@ -365,6 +405,7 @@ func (e *Engine) housekeeping() {
 				c.SampleDemand(now, tr.RateAt(now-base))
 			}
 			c.SampleServers(now, active)
+			c.SampleClassServers(activeByClass)
 		})
 		if ctrl == nil {
 			continue
@@ -574,7 +615,7 @@ func (e *Engine) workerLoop(w *worker) {
 		e.mu.Unlock()
 
 		v := &e.g.Tasks[spec.Task].Variants[spec.Variant]
-		e.sleepScaled(v.Latency(b))
+		e.sleepScaled(v.Latency(b) / w.speed)
 
 		for _, sub := range batch {
 			e.complete(sub, w, spec)

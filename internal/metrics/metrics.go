@@ -21,6 +21,15 @@ type Collector struct {
 
 	mu      sync.Mutex
 	buckets []bucket
+
+	// Hardware-class accounting, armed by SetClasses: per-class occupancy
+	// sums (server-seconds, at the engines' one-second sampling cadence)
+	// and the accrued dollar cost.
+	classNames []string
+	classCost  []float64 // $/server-hour, aligned with classNames
+	classSum   []float64
+	classN     int
+	costHours  float64 // accrued dollars (cost/hour × hours)
 }
 
 type bucket struct {
@@ -116,6 +125,34 @@ func (c *Collector) SampleServers(t float64, servers int) {
 	b.serversN++
 }
 
+// SetClasses arms hardware-class accounting: names and per-server-hour
+// costs, in class order. Until it is called, SampleClassServers is a no-op
+// and the summary carries no class or cost columns — the homogeneous
+// zero-cost compatibility path.
+func (c *Collector) SetClasses(names []string, costPerHour []float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.classNames = append([]string(nil), names...)
+	c.classCost = append([]float64(nil), costPerHour...)
+	c.classSum = make([]float64, len(names))
+}
+
+// SampleClassServers records one second of per-class occupancy (the engines
+// sample on their one-second housekeeping cadence): counts[i] active servers
+// of class i, each accruing its class's per-hour cost for that second.
+func (c *Collector) SampleClassServers(counts []int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.classSum == nil || len(counts) != len(c.classSum) {
+		return
+	}
+	c.classN++
+	for i, n := range counts {
+		c.classSum[i] += float64(n)
+		c.costHours += float64(n) * c.classCost[i] / 3600
+	}
+}
+
 // Point is one time-bucket of the series.
 type Point struct {
 	TimeSec        float64
@@ -176,6 +213,13 @@ type Summary struct {
 	MinServers     float64
 	MaxServers     float64
 	MeanUtiliz     float64
+
+	// Hardware-class accounting (nil/zero unless the collector's SetClasses
+	// armed it): mean active servers per class, the class names, and the
+	// accrued server cost in dollars (Σ active × $/h × hours).
+	ClassNames         []string
+	MeanServersByClass []float64
+	CostHours          float64
 }
 
 // Summarize aggregates the whole run.
@@ -238,6 +282,14 @@ func (c *Collector) Summarize() Summary {
 	if math.IsInf(s.MinServers, 1) {
 		s.MinServers = 0
 	}
+	if c.classN > 0 {
+		s.ClassNames = append([]string(nil), c.classNames...)
+		s.MeanServersByClass = make([]float64, len(c.classSum))
+		for i, sum := range c.classSum {
+			s.MeanServersByClass[i] = sum / float64(c.classN)
+		}
+		s.CostHours = c.costHours
+	}
 	return s
 }
 
@@ -268,6 +320,20 @@ func Merge(sums ...Summary) Summary {
 		out.MeanServers += s.MeanServers
 		out.MinServers += s.MinServers
 		out.MaxServers += s.MaxServers
+		out.CostHours += s.CostHours
+		// Per-class means add across tenants sharing one pool, like the
+		// server columns; the first summary with classes fixes the names.
+		if len(s.MeanServersByClass) > 0 {
+			if out.MeanServersByClass == nil {
+				out.ClassNames = append([]string(nil), s.ClassNames...)
+				out.MeanServersByClass = make([]float64, len(s.MeanServersByClass))
+			}
+			if len(s.MeanServersByClass) == len(out.MeanServersByClass) {
+				for i, v := range s.MeanServersByClass {
+					out.MeanServersByClass[i] += v
+				}
+			}
+		}
 	}
 	if out.Arrivals > 0 {
 		out.ViolationRatio = float64(out.Late+out.Dropped) / float64(out.Arrivals)

@@ -1,0 +1,83 @@
+package profiles
+
+import (
+	"reflect"
+	"testing"
+)
+
+// A single speed-1.0 class reproduces the homogeneous profiler bit for bit —
+// the profile-layer half of the hardware-class parity contract — including
+// under measurement jitter (the per-variant jitter stream is re-seeded per
+// class).
+func TestProfileGraphClassesSpeedOneParity(t *testing.T) {
+	g := TrafficTree()
+	for _, jitter := range []float64{0, 0.02} {
+		pr := &Profiler{Seed: 9, Jitter: jitter}
+		ref := pr.ProfileGraph(g, Batches)
+		got := pr.ProfileGraphClasses(g, Batches, DefaultClasses(20))
+		if len(got) != 1 {
+			t.Fatalf("jitter %g: %d class tables, want 1", jitter, len(got))
+		}
+		if !reflect.DeepEqual(ref, got[0]) {
+			t.Fatalf("jitter %g: speed-1.0 class diverged from the homogeneous profiler", jitter)
+		}
+	}
+}
+
+// Per-class tables are the reference measurement scaled by the class speed:
+// latency divides, throughput multiplies, and the jitter pattern is shared.
+func TestProfileGraphClassesSpeedScaling(t *testing.T) {
+	g := TrafficChain()
+	classes := []Class{
+		{Name: "fast", Count: 2, Speed: 2.0},
+		{Name: "ref", Count: 2, Speed: 1.0},
+	}
+	pr := &Profiler{Seed: 3, Jitter: 0.01}
+	tabs := pr.ProfileGraphClasses(g, Batches, classes)
+	for i := range g.Tasks {
+		for k := range g.Tasks[i].Variants {
+			for j := range Batches {
+				fast, ref := tabs[0][i][k].LatencySec[j], tabs[1][i][k].LatencySec[j]
+				if diff := fast*2 - ref; diff > 1e-12 || diff < -1e-12 {
+					t.Fatalf("task %d variant %d batch %d: fast latency %g not half of %g", i, k, Batches[j], fast, ref)
+				}
+			}
+		}
+	}
+}
+
+// Class.Latency is the analytic curve divided by the class speed.
+func TestClassLatency(t *testing.T) {
+	v := YOLOv5()[0]
+	fast := Class{Name: "fast", Speed: 2.0}
+	if got, want := fast.Latency(&v, 8), v.Latency(8)/2; got != want {
+		t.Fatalf("fast.Latency = %g, want %g", got, want)
+	}
+	zero := Class{Name: "z"}
+	if got, want := zero.Latency(&v, 8), v.Latency(8); got != want {
+		t.Fatalf("zero-speed class Latency = %g, want the reference %g", got, want)
+	}
+}
+
+// ParseClasses handles the CLI fleet syntax and validation.
+func TestParseClasses(t *testing.T) {
+	got, err := ParseClasses("a:2@1.5@0.8,b:4@0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Class{
+		{Name: "a", Count: 2, Speed: 1.5, CostPerHour: 0.8},
+		{Name: "b", Count: 4, Speed: 0.5},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ParseClasses = %+v, want %+v", got, want)
+	}
+	if cs, err := ParseClasses("  "); err != nil || cs != nil {
+		t.Fatalf("blank spec: %v, %v", cs, err)
+	}
+	for _, bad := range []string{"a", "a:2", "a:2@0", "a:0@1", "a:2@1,a:3@1", ":2@1"} {
+		if _, err := ParseClasses(bad); err == nil {
+			t.Errorf("bad spec %q accepted", bad)
+		}
+	}
+}

@@ -53,20 +53,33 @@ func (p *Profile) MaxQPS() (float64, int) {
 // Profiler is Loki's Model Profiler (§3): during initial setup it measures
 // the processing time of every model variant at every allowed batch size.
 // DeviceSpeed scales all latencies (1.0 models the paper's homogeneous GTX
-// 1080 Ti cluster); Jitter adds relative measurement noise so simulator
-// validation does not compare a model against itself bit-for-bit.
+// 1080 Ti cluster); on a heterogeneous fleet it is the reference speed that
+// each hardware class's own Speed multiplies. Jitter adds relative
+// measurement noise so simulator validation does not compare a model against
+// itself bit-for-bit.
 type Profiler struct {
 	DeviceSpeed float64
 	Jitter      float64 // e.g. 0.01 for ±1% multiplicative noise
 	Seed        int64
 }
 
-// ProfileVariant measures one variant over the given batch sizes.
+// ProfileVariant measures one variant over the given batch sizes at the
+// profiler's reference speed.
 func (pr *Profiler) ProfileVariant(v *pipeline.Variant, batches []int) Profile {
+	return pr.profileVariantAt(v, batches, 1.0)
+}
+
+// profileVariantAt measures one variant with latencies divided by
+// classSpeed × DeviceSpeed. The jitter stream is re-seeded per variant, so
+// every class observes the same relative measurement noise — a slow class is
+// exactly a speed-scaled copy of the reference measurement, which is what
+// lets a Speed-1.0 class reproduce the homogeneous profiles bit for bit.
+func (pr *Profiler) profileVariantAt(v *pipeline.Variant, batches []int, classSpeed float64) Profile {
 	speed := pr.DeviceSpeed
 	if speed == 0 {
 		speed = 1.0
 	}
+	speed *= classSpeed
 	rng := rand.New(rand.NewSource(pr.Seed + int64(len(v.Name))*7919))
 	p := Profile{
 		Batches:    append([]int(nil), batches...),
@@ -92,6 +105,28 @@ func (pr *Profiler) ProfileGraph(g *pipeline.Graph, batches []int) [][]Profile {
 		out[i] = make([]Profile, len(g.Tasks[i].Variants))
 		for k := range g.Tasks[i].Variants {
 			out[i][k] = pr.ProfileVariant(&g.Tasks[i].Variants[k], batches)
+		}
+	}
+	return out
+}
+
+// ProfileGraphClasses measures every variant on every hardware class,
+// returning tables indexed [class][task][variant]. Each class's table is the
+// reference measurement scaled by the class Speed (a Speed of 0 is treated
+// as 1.0), so a single class at Speed 1.0 reproduces ProfileGraph exactly.
+func (pr *Profiler) ProfileGraphClasses(g *pipeline.Graph, batches []int, classes []Class) [][][]Profile {
+	out := make([][][]Profile, len(classes))
+	for c, cl := range classes {
+		speed := cl.Speed
+		if speed == 0 {
+			speed = 1.0
+		}
+		out[c] = make([][]Profile, len(g.Tasks))
+		for i := range g.Tasks {
+			out[c][i] = make([]Profile, len(g.Tasks[i].Variants))
+			for k := range g.Tasks[i].Variants {
+				out[c][i][k] = pr.profileVariantAt(&g.Tasks[i].Variants[k], batches, speed)
+			}
 		}
 	}
 	return out

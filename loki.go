@@ -171,6 +171,7 @@ type Option func(*config)
 
 type config struct {
 	servers    int
+	hardware   []HardwareClass
 	slo        time.Duration
 	netLatency time.Duration
 	seed       int64
@@ -201,7 +202,58 @@ func (c config) headroomOrDefault() float64 {
 
 // WithServers sets the cluster size (default 20, the paper's testbed). On a
 // MultiSystem this is the shared pool every registered pipeline draws from.
+// WithHardware supersedes it: with explicit hardware classes the pool size
+// is the classes' total count.
 func WithServers(n int) Option { return func(c *config) { c.servers = n } }
+
+// HardwareClass describes one class of a heterogeneous cluster: Count
+// servers of the same accelerator generation, each executing at Speed × the
+// profiled reference speed (1.0 = the paper's GTX 1080 Ti testbed) and
+// costing CostPerHour dollars per active server-hour (0 disables cost
+// accounting for the class). The Resource Manager plans replicas per
+// (variant, batch, class), keeps one capacity constraint per class, and the
+// engines swap models only within a class.
+type HardwareClass struct {
+	Name        string
+	Count       int
+	Speed       float64
+	CostPerHour float64
+}
+
+// WithHardware declares the cluster's hardware classes, replacing the
+// homogeneous pool of WithServers with a mixed fleet. The pool size becomes
+// the classes' total count. The default — equivalent to omitting the option
+// — is a single class named "default" holding WithServers servers at Speed
+// 1.0 and zero cost, which reproduces the homogeneous system bit for bit.
+//
+//	loki.WithHardware(
+//	    loki.HardwareClass{Name: "a100", Count: 4, Speed: 2.0, CostPerHour: 3.5},
+//	    loki.HardwareClass{Name: "v100", Count: 8, Speed: 1.0, CostPerHour: 1.2},
+//	    loki.HardwareClass{Name: "cpu", Count: 16, Speed: 0.25, CostPerHour: 0.2})
+//
+// When any class carries a positive CostPerHour, hardware scaling minimizes
+// the fleet's dollar rate instead of its server count (INFaaS-style), and
+// Report gains ServerCostHours/CostPerQuery.
+func WithHardware(classes ...HardwareClass) Option {
+	return func(c *config) { c.hardware = append([]HardwareClass(nil), classes...) }
+}
+
+// ParseHardware parses a fleet specification of the form
+// "a100:4@2.0,v100:8@1.0,cpu:16@0.25" — comma-separated name:count@speed
+// entries, each with an optional fourth @cost-per-hour part
+// ("a100:4@2.0@3.5") — as accepted by the serving CLIs' -hardware flag. An
+// empty spec returns nil (keep the homogeneous default).
+func ParseHardware(spec string) ([]HardwareClass, error) {
+	classes, err := profiles.ParseClasses(spec)
+	if err != nil || classes == nil {
+		return nil, err
+	}
+	out := make([]HardwareClass, len(classes))
+	for i, cl := range classes {
+		out[i] = HardwareClass{Name: cl.Name, Count: cl.Count, Speed: cl.Speed, CostPerHour: cl.CostPerHour}
+	}
+	return out, nil
+}
 
 // WithSLO sets the end-to-end latency SLO (default 250 ms). On a
 // MultiSystem it is the default for pipelines that do not set their own via
@@ -306,6 +358,18 @@ type Report struct {
 	MeanLatency time.Duration
 	// Requests breakdown.
 	Arrivals, Completed, Late, Dropped, Rerouted int64
+	// MeanServersByClass breaks MeanServers down per hardware class (keyed
+	// by class name). Nil on runs without hardware-class accounting.
+	MeanServersByClass map[string]float64
+	// ServerCostHours is the run's accrued server cost in dollars: active
+	// servers × their class's CostPerHour, integrated over the run. Zero on
+	// unpriced fleets (every CostPerHour zero), where cost accounting is
+	// off and Report output is unchanged.
+	ServerCostHours float64
+	// CostPerQuery is ServerCostHours divided by answered requests
+	// (completed plus late), the INFaaS-style serving cost. Zero on
+	// unpriced fleets.
+	CostPerQuery float64
 	// Series holds per-bucket time series for plotting.
 	Series []SeriesPoint
 }
@@ -314,15 +378,22 @@ type Report struct {
 type SeriesPoint = metrics.Point
 
 // String summarizes the report in one line, prefixed with the pipeline
-// label when the report belongs to one tenant of a shared pool.
+// label when the report belongs to one tenant of a shared pool. Cost
+// columns appear only when the fleet accrued any cost, so zero-cost
+// (homogeneous) reports render byte-identically to the pre-hardware-class
+// format.
 func (r *Report) String() string {
 	label := ""
 	if r.Pipeline != "" {
 		label = fmt.Sprintf("pipeline=%s ", r.Pipeline)
 	}
-	return fmt.Sprintf("%saccuracy=%.4f slo-violations=%.4f servers=%.1f (min %.0f, max %.0f) requests=%d (late %d, dropped %d)",
+	s := fmt.Sprintf("%saccuracy=%.4f slo-violations=%.4f servers=%.1f (min %.0f, max %.0f) requests=%d (late %d, dropped %d)",
 		label, r.Accuracy, r.SLOViolationRatio, r.MeanServers, r.MinServers, r.MaxServers,
 		r.Arrivals, r.Late, r.Dropped)
+	if r.ServerCostHours > 0 {
+		s += fmt.Sprintf(" cost=$%.2f ($%.6f/query)", r.ServerCostHours, r.CostPerQuery)
+	}
+	return s
 }
 
 func buildConfig(opts []Option) config {
@@ -358,26 +429,52 @@ func Serve(p *Pipeline, tr *Trace, opts ...Option) (*Report, error) {
 	return sys.Report(), nil
 }
 
+// resolvedClasses maps the config's hardware onto the internal class set:
+// the explicit WithHardware fleet, or the homogeneous default of one class
+// holding all WithServers servers. It also returns the pool's total size.
+func (c config) resolvedClasses() ([]profiles.Class, int, error) {
+	if len(c.hardware) == 0 {
+		return profiles.DefaultClasses(c.servers), c.servers, nil
+	}
+	classes := make([]profiles.Class, len(c.hardware))
+	for i, h := range c.hardware {
+		classes[i] = profiles.Class{Name: h.Name, Count: h.Count, Speed: h.Speed, CostPerHour: h.CostPerHour}
+	}
+	if err := profiles.ValidateClasses(classes); err != nil {
+		return nil, 0, err
+	}
+	return classes, profiles.TotalCount(classes), nil
+}
+
 // metaAndOpts builds the Model Profiler → Metadata Store stage shared by
 // every entry point, plus the allocator options derived from the config.
-func metaAndOpts(p *Pipeline, c config) (*core.MetadataStore, core.AllocatorOptions) {
-	prof := (&profiles.Profiler{Seed: c.seed}).ProfileGraph(p, profiles.Batches)
-	meta := core.NewMetadataStore(p, prof, c.slo.Seconds(), profiles.Batches)
+// Every hardware class is profiled separately (per-class latency curves),
+// and the allocator sizes itself from the class counts.
+func metaAndOpts(p *Pipeline, c config) (*core.MetadataStore, core.AllocatorOptions, error) {
+	classes, total, err := c.resolvedClasses()
+	if err != nil {
+		return nil, core.AllocatorOptions{}, err
+	}
+	prof := (&profiles.Profiler{Seed: c.seed}).ProfileGraphClasses(p, profiles.Batches, classes)
+	meta := core.NewMetadataStoreHetero(p, classes, prof, c.slo.Seconds(), profiles.Batches)
 	return meta, core.AllocatorOptions{
-		Servers:         c.servers,
+		Servers:         total,
 		NetLatencySec:   c.netLatency.Seconds(),
 		KeepWarm:        true,
 		Headroom:        c.headroomOrDefault(),
 		MinPathAccuracy: c.minAcc,
 		SolveTimeLimit:  c.solveLimit,
 		DisableReuse:    c.plannerCacheOff,
-	}
+	}, nil
 }
 
 // newAllocStack builds the full MetadataStore + MILP Allocator stack used by
 // the capacity-planning entry points.
 func newAllocStack(p *Pipeline, c config) (*core.MetadataStore, *core.Allocator, error) {
-	meta, aopts := metaAndOpts(p, c)
+	meta, aopts, err := metaAndOpts(p, c)
+	if err != nil {
+		return nil, nil, err
+	}
 	alloc, err := core.NewAllocator(meta, aopts)
 	if err != nil {
 		return nil, nil, err

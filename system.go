@@ -116,6 +116,12 @@ type Snapshot struct {
 	InFlight int64
 	// ActiveServers counts workers currently hosting a model variant.
 	ActiveServers int
+	// ActiveServersByClass breaks ActiveServers down per hardware class
+	// (keyed by class name). Nil on homogeneous systems.
+	ActiveServersByClass map[string]int
+	// GrantedServersByClass breaks GrantedServers down per hardware class.
+	// Nil on homogeneous systems.
+	GrantedServersByClass map[string]int
 	// GrantedServers is the partition of the pool the joint allocator
 	// currently grants this pipeline: its standing plan's server count when
 	// the pool is uncontended (the rest of the pool is idle headroom any

@@ -109,6 +109,13 @@ type MultiSystem struct {
 // policy, baseline) that AddPipeline's PipelineOptions may override.
 func NewMulti(opts ...Option) (*MultiSystem, error) {
 	c := buildConfig(opts)
+	// With explicit hardware classes the pool size is their total count;
+	// validate the fleet here so a bad WithHardware fails at construction.
+	if _, total, err := c.resolvedClasses(); err != nil {
+		return nil, err
+	} else if len(c.hardware) > 0 {
+		c.servers = total
+	}
 	if c.servers <= 0 {
 		return nil, fmt.Errorf("loki: multi-tenant pool needs a positive server count, got %d", c.servers)
 	}
@@ -163,7 +170,10 @@ func (m *MultiSystem) AddPipeline(name string, p *Pipeline, opts ...PipelineOpti
 
 	tc := m.cfg
 	tc.slo = pc.slo
-	meta, aopts := metaAndOpts(p, tc)
+	meta, aopts, err := metaAndOpts(p, tc)
+	if err != nil {
+		return err
+	}
 	if f := pc.fc.build(); f != nil {
 		meta.SetForecaster(f)
 	}
@@ -172,6 +182,18 @@ func (m *MultiSystem) AddPipeline(name string, p *Pipeline, opts ...PipelineOpti
 		return err
 	}
 	col := metrics.NewCollector(30, m.cfg.servers)
+	// Arm per-class occupancy (and, when priced, cost) accounting on
+	// heterogeneous or priced fleets; the plain homogeneous zero-cost path
+	// keeps its recorded reports bit for bit.
+	if classes := meta.Classes(); len(classes) > 1 || classes[0].CostPerHour > 0 {
+		names := make([]string, len(classes))
+		costs := make([]float64, len(classes))
+		for i, cl := range classes {
+			names[i] = cl.Name
+			costs[i] = cl.CostPerHour
+		}
+		col.SetClasses(names, costs)
+	}
 	t := &msTenant{
 		name:      name,
 		pipe:      p,
@@ -217,8 +239,13 @@ func (m *MultiSystem) buildLocked() error {
 	if len(m.tenants) == 0 {
 		return fmt.Errorf("loki: no pipelines registered")
 	}
+	classes, _, err := m.cfg.resolvedClasses()
+	if err != nil {
+		return err
+	}
 	mc := engine.MultiConfig{
 		Servers:        m.cfg.servers,
+		Classes:        classes,
 		NetLatencySec:  m.cfg.netLatency.Seconds(),
 		Seed:           m.cfg.seed,
 		SwapLatencySec: m.cfg.swap.Seconds(),
@@ -426,7 +453,7 @@ func (m *MultiSystem) Snapshot(pipeline string) (Snapshot, error) {
 		return Snapshot{}, nil
 	}
 	st := m.eng.Stats(i)
-	return Snapshot{
+	snap := Snapshot{
 		TimeSec:         m.eng.Now(),
 		Arrivals:        st.Injected,
 		Completed:       st.Completed,
@@ -438,7 +465,22 @@ func (m *MultiSystem) Snapshot(pipeline string) (Snapshot, error) {
 		Allocates:       m.ctrl.AllocatesOf(i),
 		ObservedDemand:  t.meta.LastObservedDemand(),
 		PredictedDemand: t.meta.PredictedDemand(t.fcHorizon),
-	}, nil
+	}
+	if classes := t.meta.Classes(); len(classes) > 1 {
+		active := m.eng.ActiveByClass(i)
+		grants := m.ctrl.ClassGrants()[i]
+		snap.ActiveServersByClass = map[string]int{}
+		snap.GrantedServersByClass = map[string]int{}
+		for c, cl := range classes {
+			if c < len(active) {
+				snap.ActiveServersByClass[cl.Name] = active[c]
+			}
+			if c < len(grants) {
+				snap.GrantedServersByClass[cl.Name] = grants[c]
+			}
+		}
+	}
+	return snap, nil
 }
 
 // Plan returns the named pipeline's standing allocation plan (nil before
@@ -556,7 +598,7 @@ func (m *MultiSystem) AggregateReport() *Report {
 // summaryToReport maps a metrics summary (plus the engine's reroute count)
 // onto the public Report shape.
 func summaryToReport(sum metrics.Summary, rerouted int64) *Report {
-	return &Report{
+	r := &Report{
 		Accuracy:          sum.MeanAccuracy,
 		SLOViolationRatio: sum.ViolationRatio,
 		MeanServers:       sum.MeanServers,
@@ -568,5 +610,16 @@ func summaryToReport(sum metrics.Summary, rerouted int64) *Report {
 		Late:              int64(sum.Late),
 		Dropped:           int64(sum.Dropped),
 		Rerouted:          rerouted,
+		ServerCostHours:   sum.CostHours,
 	}
+	if len(sum.ClassNames) > 0 {
+		r.MeanServersByClass = map[string]float64{}
+		for i, name := range sum.ClassNames {
+			r.MeanServersByClass[name] = sum.MeanServersByClass[i]
+		}
+	}
+	if answered := r.Completed + r.Late; answered > 0 && r.ServerCostHours > 0 {
+		r.CostPerQuery = r.ServerCostHours / float64(answered)
+	}
+	return r
 }
