@@ -290,6 +290,34 @@ func BenchmarkHeteroAllocate(b *testing.B) {
 	}
 }
 
+// BenchmarkIngressOverload runs the HTTP front-door overload sweep per
+// iteration (open vs admission-controlled door, 1x and 2x the measured
+// capacity, wall-clock engine over real sockets) and reports each point's
+// attainment and goodput — the regression canaries for the ingress
+// subsystem: admitted attainment must hold at 2x while the open door rots,
+// and admission goodput at 2x must strictly beat the open door's. The
+// recorded full-sweep baseline lives in BENCH_ingress.json.
+func BenchmarkIngressOverload(b *testing.B) {
+	var last *experiments.IngressResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Ingress(experiments.IngressConfig{
+			Seed: 11, Mults: []float64{1.0, 2.0}, DurSec: 8, WarmupSec: 5,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.CapacityQPS, "capacity_qps")
+	b.ReportMetric(last.Baseline[0].Attainment, "open_1x_slo")
+	b.ReportMetric(last.Baseline[1].Attainment, "open_2x_slo")
+	b.ReportMetric(last.Baseline[1].GoodputQPS, "open_2x_goodput")
+	b.ReportMetric(last.Admitted[0].Attainment, "adm_1x_slo")
+	b.ReportMetric(last.Admitted[1].Attainment, "adm_2x_slo")
+	b.ReportMetric(last.Admitted[1].GoodputQPS, "adm_2x_goodput")
+	b.ReportMetric(100*last.Admitted[1].ShedRate, "adm_2x_shed_%")
+}
+
 // BenchmarkForecastSpike runs the proactive-provisioning experiment per
 // iteration (reactive vs trend vs Holt-Winters on an identical flash crowd
 // and an identical diurnal cycle) and reports every run's window SLO

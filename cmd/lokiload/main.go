@@ -1,0 +1,172 @@
+// Command lokiload is a closed-loop HTTP load generator for the loki ingress
+// front door (lokiserve -listen). It plays an open-loop Poisson arrival
+// schedule from the workload-trace generator against POST
+// /v1/{pipeline}/infer through a bounded connection pool, and reports per
+// pipeline how much of the offered load was accepted (202), shed (429 +
+// Retry-After), or failed outright.
+//
+// One pipeline at a steady rate:
+//
+//	lokiload -url http://localhost:8080 -pipeline traffic -qps 400 -dur 10s
+//
+// Two tenants, each at its own rate, swept across overload multipliers (each
+// sweep point runs -dur seconds at mult×qps):
+//
+//	lokiload -url http://localhost:8080 -pipeline traffic,social -qps 400,200 -sweep 0.5,1,2 -out sweep.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"loki/internal/ingress"
+	"loki/internal/trace"
+)
+
+// phaseResult is one sweep point: every pipeline driven at mult × its base
+// QPS for the phase duration.
+type phaseResult struct {
+	Mult        float64                       `json:"mult"`
+	DurationSec float64                       `json:"duration_sec"`
+	Pipelines   map[string]ingress.LoadResult `json:"pipelines"`
+}
+
+func main() {
+	url := flag.String("url", "http://localhost:8080", "base URL of the lokiserve front door")
+	pipeNames := flag.String("pipeline", "traffic", "pipeline name(s) to drive (comma-separated)")
+	qpsList := flag.String("qps", "400", "base offered rate(s) in QPS (comma-separated, one per pipeline)")
+	sweep := flag.String("sweep", "1", "overload multipliers swept over the base rates (comma-separated)")
+	durFlag := flag.Duration("dur", 10*time.Second, "duration per sweep point")
+	conns := flag.Int("conns", 64, "connection-pool bound per pipeline (closed-loop limit)")
+	seed := flag.Int64("seed", 1, "random seed for the Poisson arrival schedule")
+	out := flag.String("out", "", "write the sweep results as JSON to this file")
+	flag.Parse()
+
+	names := strings.Split(*pipeNames, ",")
+	qstrs := strings.Split(*qpsList, ",")
+	base := make([]float64, len(names))
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+		s := strings.TrimSpace(qstrs[min(i, len(qstrs)-1)])
+		q, err := strconv.ParseFloat(s, 64)
+		if err != nil || q <= 0 {
+			log.Fatalf("bad qps %q: want a positive rate", s)
+		}
+		base[i] = q
+	}
+	var mults []float64
+	for _, s := range strings.Split(*sweep, ",") {
+		m, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil || m <= 0 {
+			log.Fatalf("bad sweep multiplier %q", s)
+		}
+		mults = append(mults, m)
+	}
+
+	// One shared client so every pipeline's pool draws from one socket budget.
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        *conns * len(names),
+		MaxIdleConnsPerHost: *conns * len(names),
+	}}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	dur := durFlag.Seconds()
+
+	var phases []phaseResult
+	for pi, mult := range mults {
+		if ctx.Err() != nil {
+			break
+		}
+		ph := phaseResult{Mult: mult, DurationSec: dur, Pipelines: map[string]ingress.LoadResult{}}
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for i, name := range names {
+			wg.Add(1)
+			go func(i int, name string) {
+				defer wg.Done()
+				q := base[i] * mult
+				g := &ingress.LoadGen{BaseURL: *url, Pipeline: name, Conns: *conns, Client: client}
+				rng := rand.New(rand.NewSource(*seed + int64(pi*len(names)+i)))
+				res, err := g.Run(ctx, trace.Ramp(q, q, 1, dur), rng)
+				if err != nil && ctx.Err() == nil {
+					log.Printf("[%s] %v", name, err)
+				}
+				mu.Lock()
+				ph.Pipelines[name] = res
+				mu.Unlock()
+			}(i, name)
+		}
+		wg.Wait()
+		for i, name := range names {
+			res := ph.Pipelines[name]
+			fmt.Printf("mult=%.2g [%-8s] offered=%.0f qps sent=%-7d accepted=%-7d shed=%-6d errors=%-5d shed-rate=%.1f%% retry-after=%.1fs max-lag=%.2fs\n",
+				mult, name, base[i]*mult, res.Sent, res.Accepted, res.Shed, res.Errors,
+				pct(res.Shed, res.Sent), res.RetryAfterMeanSec, res.MaxLagSec)
+		}
+		phases = append(phases, ph)
+	}
+
+	if *out != "" && len(phases) > 0 {
+		buf, err := json.MarshalIndent(phases, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", *out)
+	}
+	// Give in-flight server work a beat, then show the authoritative counters.
+	time.Sleep(200 * time.Millisecond)
+	for _, name := range names {
+		printSnapshot(client, *url, name)
+	}
+}
+
+func pct(part, whole int64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}
+
+// printSnapshot fetches the server-side view so shed/admitted totals can be
+// cross-checked against the client-side counts above.
+func printSnapshot(client *http.Client, url, pipeline string) {
+	resp, err := client.Get(fmt.Sprintf("%s/v1/%s/snapshot", url, pipeline))
+	if err != nil {
+		log.Printf("snapshot(%s): %v", pipeline, err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Printf("snapshot(%s): HTTP %d", pipeline, resp.StatusCode)
+		return
+	}
+	var snap struct {
+		Arrivals  int64   `json:"Arrivals"`
+		Completed int64   `json:"Completed"`
+		Dropped   int64   `json:"Dropped"`
+		Shed      int64   `json:"Shed"`
+		InFlight  int64   `json:"InFlight"`
+		Granted   float64 `json:"GrantedRateQPS"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		log.Printf("snapshot(%s): %v", pipeline, err)
+		return
+	}
+	fmt.Printf("server  [%-8s] admitted=%-7d completed=%-7d dropped=%-5d shed=%-6d inflight=%-5d granted-rate=%.0f qps\n",
+		pipeline, snap.Arrivals, snap.Completed, snap.Dropped, snap.Shed, snap.InFlight, snap.Granted)
+}

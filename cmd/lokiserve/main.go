@@ -23,15 +23,31 @@
 // with serving (Snapshot is concurrency-safe on the wall-clock engine); with
 // -engine sim the run happens in virtual time and snapshots are printed
 // between lifecycle phases instead.
+//
+// With -listen the demo loop is replaced by the HTTP front door: the system
+// mounts POST /v1/{pipeline}/infer, GET /v1/{pipeline}/snapshot, and GET
+// /healthz on the given address and serves real sockets until SIGINT/SIGTERM,
+// then shuts down gracefully — stops admitting (503 on new requests), drains
+// in-flight work against -drain, and stops the system. Pair it with
+// -admission to shed per-tenant overload with 429 + Retry-After, and drive it
+// with cmd/lokiload:
+//
+//	lokiserve -listen :8080 -pipeline traffic,social -admission
+//	lokiload  -url http://localhost:8080 -pipeline traffic -qps 400 -dur 10
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"loki"
@@ -51,8 +67,11 @@ func main() {
 	slo := flag.Duration("slo", 250*time.Millisecond, "end-to-end latency SLO")
 	seed := flag.Int64("seed", 1, "random seed")
 	engName := flag.String("engine", "sim", "serving backend: sim (virtual time), live (wall clock)")
-	timeScale := flag.Float64("timescale", 0.25, "wall-time compression for -engine live")
+	timeScale := flag.Float64("timescale", 0.25, "wall-time compression for -engine live (-listen defaults to 1.0)")
 	monitor := flag.Duration("monitor", time.Second, "snapshot period for -engine live")
+	listen := flag.String("listen", "", "serve the HTTP front door on this address (e.g. :8080) instead of the demo loop; implies -engine live")
+	admission := flag.Bool("admission", false, "arm per-pipeline admission control and load shedding (429 + Retry-After over HTTP)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for -listen: drain in-flight work this long before exiting")
 	flag.Parse()
 
 	names := strings.Split(*pipeNames, ",")
@@ -75,6 +94,19 @@ func main() {
 		for _, c := range classes {
 			poolSize += c.Count
 		}
+	}
+	if *listen != "" {
+		// A networked front door needs real time: virtual time does not
+		// advance between HTTP requests, and real clients want real seconds.
+		*engName = "live"
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		if !set["timescale"] {
+			*timeScale = 1.0
+		}
+	}
+	if *admission {
+		opts = append(opts, loki.WithAdmission(true))
 	}
 	live := *engName == "live"
 	switch *engName {
@@ -141,6 +173,11 @@ func main() {
 		if err := sys.AddPipeline(name, pipelineFor(name), popts...); err != nil {
 			log.Fatal(err)
 		}
+		if *listen != "" {
+			// Traffic arrives over sockets, not a synthetic trace.
+			fmt.Printf("pipeline %-8s mounted at POST /v1/%s/infer\n", name, name)
+			continue
+		}
 		tr := traceFor(pick(trs, i, "azure"), *seed+int64(i), *steps, *stepSec, peakQPS)
 		traces[name] = tr
 		fmt.Printf("pipeline %-8s trace %-8s peak %6.0f qps over %.0fs\n",
@@ -152,6 +189,11 @@ func main() {
 	} else {
 		fmt.Printf("serving %d pipeline(s) on a shared pool of %d servers (engine %s)\n\n",
 			len(names), poolSize, *engName)
+	}
+
+	if *listen != "" {
+		serveHTTP(sys, *listen, *monitor, *drain)
+		return
 	}
 
 	done := make(chan struct{})
@@ -201,6 +243,70 @@ func main() {
 				name, plan.ServersUsed, extra, plan.ExpectedAccuracy)
 		}
 	}
+	fmt.Println()
+	reports := sys.Reports()
+	for _, name := range sortedKeys(reports) {
+		fmt.Println(reports[name])
+	}
+	if len(reports) > 1 {
+		fmt.Println(sys.AggregateReport())
+	}
+}
+
+// serveHTTP replaces the demo loop with the network front door: serve real
+// sockets until SIGINT/SIGTERM, then shut down gracefully — stop admitting
+// (new requests get 503), let the HTTP server finish in-flight exchanges, and
+// stop the serving system, all against the -drain deadline.
+func serveHTTP(sys *loki.MultiSystem, addr string, monitor, drainDeadline time.Duration) {
+	srv := &http.Server{Addr: addr, Handler: sys}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	done := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(monitor)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				printSnapshots(sys)
+			}
+		}
+	}()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("listening on %s (SIGINT/SIGTERM drains and exits)\n\n", addr)
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal interrupts the drain instead of being swallowed
+
+	fmt.Println("\ndraining: new requests get 503, in-flight work finishes...")
+	sys.Drain()
+	shCtx, cancel := context.WithTimeout(context.Background(), drainDeadline)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	stopped := make(chan error, 1)
+	go func() { stopped <- sys.Stop() }()
+	select {
+	case err := <-stopped:
+		if err != nil {
+			log.Printf("stop: %v", err)
+		}
+	case <-shCtx.Done():
+		log.Printf("drain deadline %s exceeded; exiting with work in flight", drainDeadline)
+	}
+	close(done)
+
+	fmt.Println("\nfinal state:")
+	printSnapshots(sys)
 	fmt.Println()
 	reports := sys.Reports()
 	for _, name := range sortedKeys(reports) {
@@ -292,11 +398,22 @@ func printSnapshots(sys *loki.MultiSystem) {
 		if err != nil {
 			continue
 		}
-		fmt.Printf("t=%7.1fs  [%-8s] arrivals=%-8d inflight=%-6d completed=%-8d dropped=%-6d rerouted=%-6d servers=%d/%d demand=%.0f→%.0f%s\n",
+		fmt.Printf("t=%7.1fs  [%-8s] arrivals=%-8d inflight=%-6d completed=%-8d dropped=%-6d rerouted=%-6d servers=%d/%d demand=%.0f→%.0f%s%s\n",
 			s.TimeSec, name, s.Arrivals, s.InFlight, s.Completed, s.Dropped, s.Rerouted,
 			s.ActiveServers, s.GrantedServers, s.ObservedDemand, s.PredictedDemand,
-			classOccupancy(s))
+			admissionGauges(s), classOccupancy(s))
 	}
+}
+
+// admissionGauges renders "  admitted=12/s shed=3/s limit=200/s" (trailing
+// admitted/shed rates against the granted target rate) when an admission
+// controller is armed, and nothing otherwise.
+func admissionGauges(s loki.Snapshot) string {
+	if s.GrantedRateQPS == 0 && s.Shed == 0 {
+		return ""
+	}
+	return fmt.Sprintf("  admitted=%.0f/s shed=%.0f/s limit=%.0f/s",
+		s.AdmittedQPS, s.ShedQPS, s.GrantedRateQPS)
 }
 
 // classOccupancy renders "  classes a100:2/4 v100:3/8" (active/granted per

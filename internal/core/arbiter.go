@@ -67,6 +67,15 @@ type Tenant struct {
 	// ForecastHorizonSec is how far ahead this tenant's forecaster is
 	// consulted when planning (zero means DefaultForecastHorizonSec).
 	ForecastHorizonSec float64
+	// DemandCapQPS, when positive, caps the demand this tenant plans and
+	// routes for. Admission-fronted tenants set it to the largest rate the
+	// pool can serve within the SLO (Allocator.MaxCapacity): offered demand
+	// beyond it is the admission controller's to shed at the door, not the
+	// planner's to absorb with a saturated throughput-optimal plan whose
+	// oversized batches miss the SLO by construction. Zero means uncapped —
+	// the planner degrades through accuracy scaling into saturation as
+	// demand grows, exactly as without admission.
+	DemandCapQPS float64
 	// Publish delivers a new plan and routing tables to the serving engine.
 	Publish func(plan *Plan, routes *Routes)
 
@@ -196,7 +205,10 @@ func (t *Tenant) planningDemand() float64 {
 		h = DefaultForecastHorizonSec
 	}
 	if pred := t.Meta.PredictedDemand(h); pred > est {
-		return pred
+		est = pred
+	}
+	if t.DemandCapQPS > 0 && est > t.DemandCapQPS {
+		return t.DemandCapQPS
 	}
 	return est
 }

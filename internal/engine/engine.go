@@ -24,13 +24,16 @@ import (
 
 // Stats are cumulative request totals of a backend. Injected counts root
 // requests admitted; every injected request eventually lands in exactly one
-// of Completed or Dropped.
+// of Completed or Dropped. Shed counts requests refused by an admission
+// controller before injection — they are not part of Injected (offered load
+// is Injected + Shed) and stay zero when no controller is armed.
 type Stats struct {
 	Injected  int64
 	Completed int64
 	Dropped   int64
 	Rerouted  int64
 	Swaps     int64
+	Shed      int64
 }
 
 // Config assembles the pieces every backend needs. Meta, Policy, and

@@ -8,6 +8,7 @@ import (
 
 	"loki/internal/cluster"
 	"loki/internal/core"
+	"loki/internal/ingress"
 	"loki/internal/live"
 	"loki/internal/metrics"
 	"loki/internal/pipeline"
@@ -29,6 +30,12 @@ type TenantConfig struct {
 	// OnTaskDemand receives this tenant's per-task arrival counts every
 	// housekeeping second (the Proteus-like baseline's per-task history).
 	OnTaskDemand func(task pipeline.TaskID, count float64)
+
+	// Admission, when non-nil, fronts every injection path of this tenant
+	// (Submit and FeedAll alike): requests it refuses are shed — counted in
+	// Stats.Shed and the collector's shed series, still part of the observed
+	// demand the planner sees, but never queued.
+	Admission *ingress.Admission
 }
 
 // MultiConfig assembles a multi-tenant backend: the shared pool-level knobs
@@ -152,6 +159,9 @@ type multiSimulated struct {
 	started bool
 	stopped bool
 	stepErr error
+
+	shed      []int64 // cumulative per-tenant shed counts
+	shedFlush []int64 // shed since the last housekeeping flush (offered demand)
 }
 
 func newMultiSimulated(cfg MultiConfig) (MultiEngine, error) {
@@ -176,7 +186,31 @@ func newMultiSimulated(cfg MultiConfig) (MultiEngine, error) {
 		}
 		m.cls = append(m.cls, cl)
 	}
+	m.shed = make([]int64, len(cfg.Tenants))
+	m.shedFlush = make([]int64, len(cfg.Tenants))
 	return m, nil
+}
+
+// admit consults tenant i's admission controller at the current virtual
+// instant. A refused request is shed: counted, reported to the collector, and
+// folded into the next demand observation (housekeepTenant), but never
+// injected. Tenants without a controller always admit.
+func (m *multiSimulated) admit(i int) (ok bool, retryAfterSec float64) {
+	t := &m.cfg.Tenants[i]
+	if t.Admission == nil {
+		return true, 0
+	}
+	now := m.eng.Now()
+	inj, comp, drop, _, _ := m.cls[i].Totals()
+	ok, retry := t.Admission.Admit(now, inj-comp-drop)
+	if ok {
+		t.Collector.Admitted(now)
+		return true, 0
+	}
+	m.shed[i]++
+	m.shedFlush[i]++
+	t.Collector.Shed(now)
+	return false, retry
 }
 
 func (m *multiSimulated) ApplyPlan(tenant int, plan *core.Plan, routes *core.Routes) {
@@ -202,6 +236,9 @@ func (m *multiSimulated) Submit(tenant int) error {
 	}
 	if m.stopped {
 		return ErrStopped
+	}
+	if ok, retry := m.admit(tenant); !ok {
+		return &ingress.ShedError{RetryAfterSec: retry}
 	}
 	m.cls[tenant].InjectRequest()
 	return nil
@@ -252,7 +289,9 @@ func (m *multiSimulated) FeedAll(traces []*trace.Trace) error {
 				return
 			}
 			m.eng.At(start+arrivals[j], func() {
-				cl.InjectRequest()
+				if ok, _ := m.admit(i); ok {
+					cl.InjectRequest()
+				}
 				schedule(j + 1)
 			})
 		}
@@ -308,8 +347,11 @@ func (m *multiSimulated) FeedAll(traces []*trace.Trace) error {
 func (m *multiSimulated) housekeepTenant(i int, now, rateQPS float64) {
 	t := &m.cfg.Tenants[i]
 	cl := m.cls[i]
-	count := cl.FlushDemand()
-	t.Meta.ObserveDemandAt(now, float64(count))
+	// Offered demand: shed requests never reached the cluster, but the
+	// planner must still see them or it could never scale out of overload.
+	count := float64(cl.FlushDemand()) + float64(m.shedFlush[i])
+	m.shedFlush[i] = 0
+	t.Meta.ObserveDemandAt(now, count)
 	if t.OnTaskDemand != nil {
 		for task, n := range cl.FlushTaskArrivals() {
 			t.OnTaskDemand(pipeline.TaskID(task), float64(n))
@@ -337,6 +379,7 @@ func (m *multiSimulated) Stats(tenant int) Stats {
 		Dropped:   dropped,
 		Rerouted:  rerouted,
 		Swaps:     swaps,
+		Shed:      m.shed[tenant],
 	}
 }
 
@@ -376,6 +419,7 @@ func newMultiWallclock(cfg MultiConfig) (MultiEngine, error) {
 			LBIntervalSec: cfg.LBIntervalSec,
 			QueueFactor:   cfg.QueueFactor,
 			OnTaskDemand:  t.OnTaskDemand,
+			Admission:     t.Admission,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("engine: tenant %d: %w", i, err)
@@ -453,12 +497,13 @@ func (m *multiWallclock) Stop() error {
 }
 
 func (m *multiWallclock) Stats(tenant int) Stats {
-	injected, completed, dropped, rerouted := m.es[tenant].Totals()
+	injected, completed, dropped, rerouted, shed := m.es[tenant].Totals()
 	return Stats{
 		Injected:  injected,
 		Completed: completed,
 		Dropped:   dropped,
 		Rerouted:  rerouted,
+		Shed:      shed,
 	}
 }
 

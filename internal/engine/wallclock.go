@@ -56,12 +56,13 @@ func (w *wallclock) Feed(tr *trace.Trace) error { return w.e.Feed(tr) }
 func (w *wallclock) Stop() error { return w.e.Stop() }
 
 func (w *wallclock) Stats() Stats {
-	injected, completed, dropped, rerouted := w.e.Totals()
+	injected, completed, dropped, rerouted, shed := w.e.Totals()
 	return Stats{
 		Injected:  injected,
 		Completed: completed,
 		Dropped:   dropped,
 		Rerouted:  rerouted,
+		Shed:      shed,
 	}
 }
 

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestIngressShedBeatsQueueRot is the overload-sweep acceptance check: on a
+// capacity-matched data plane, admission control must keep the admitted
+// population's SLO attainment at the baseline's healthy-load level while the
+// open door's queues rot, and its goodput under 2x overload must strictly
+// beat the open door's. Wall-clock: the sweep costs 4 points x DurSec real
+// seconds over real sockets.
+func TestIngressShedBeatsQueueRot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock HTTP sweep")
+	}
+	r, err := Ingress(IngressConfig{
+		Seed:  11,
+		Mults: []float64{1.0, 2.0},
+		// The warmup window must outlast the fresh bucket's burst (BurstSec
+		// of capacity) plus the drain the plan's headroom affords, or the 2x
+		// points measure the start-up transient.
+		DurSec:    8,
+		WarmupSec: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Baseline) != 2 || len(r.Admitted) != 2 {
+		t.Fatalf("sweep shape: %d baseline, %d admitted points", len(r.Baseline), len(r.Admitted))
+	}
+	if r.CapacityQPS <= 0 {
+		t.Fatalf("measured capacity %.0f", r.CapacityQPS)
+	}
+	base1, base2 := r.Baseline[0], r.Baseline[1]
+	adm1, adm2 := r.Admitted[0], r.Admitted[1]
+
+	// At 1x nobody should shed and the doors should be indistinguishable.
+	if adm1.ShedRate > 0.02 {
+		t.Errorf("admission sheds %.1f%% at 1x capacity", 100*adm1.ShedRate)
+	}
+	if adm1.Attainment < base1.Attainment-0.02 {
+		t.Errorf("admission at 1x: attainment %.4f vs open %.4f", adm1.Attainment, base1.Attainment)
+	}
+
+	// At 2x the gate must shed a substantial fraction...
+	if adm2.ShedRate < 0.25 {
+		t.Errorf("admission sheds only %.1f%% at 2x capacity", 100*adm2.ShedRate)
+	}
+	// ...and the admitted population must keep the healthy-load attainment
+	// (the acceptance bar: no worse than the open door under no overload).
+	if adm2.Attainment < base1.Attainment-0.02 {
+		t.Errorf("admitted attainment %.4f at 2x, open door at 1x %.4f", adm2.Attainment, base1.Attainment)
+	}
+	// Shedding early must strictly beat queueing-then-missing on goodput.
+	if adm2.GoodputQPS <= base2.GoodputQPS {
+		t.Errorf("goodput at 2x: admission %.0f qps, open %.0f qps — shedding must win",
+			adm2.GoodputQPS, base2.GoodputQPS)
+	}
+	// And the open door must actually have rotted — if it still attains the
+	// SLO under 2x overload the sweep is not measuring overload at all.
+	if base2.Attainment > 0.5 {
+		t.Errorf("open door attains %.4f at 2x capacity; expected queue rot", base2.Attainment)
+	}
+}

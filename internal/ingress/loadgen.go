@@ -1,0 +1,128 @@
+package ingress
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"loki/internal/trace"
+)
+
+// LoadResult aggregates one load-generation run. Sent = Accepted + Shed +
+// Errors; the offered schedule the server actually saw is Accepted + Shed.
+type LoadResult struct {
+	Sent     int64 // requests attempted
+	Accepted int64 // 202: admitted into the serving system
+	Shed     int64 // 429: refused by admission control
+	Errors   int64 // transport failures or unexpected statuses
+	// RetryAfterMeanSec averages the Retry-After hints on shed responses
+	// (zero when nothing was shed).
+	RetryAfterMeanSec float64
+	// MaxLagSec is the worst lag between a request's scheduled arrival and
+	// its actual send — nonzero lag means the connection pool saturated and
+	// the open-loop schedule degraded toward closed-loop.
+	MaxLagSec float64
+}
+
+// LoadGen drives an ingress front door over real sockets: the open-loop
+// Poisson arrival schedule of a workload trace, sent from a bounded
+// connection pool. While a connection is free each arrival is sent at its
+// scheduled instant (open loop); when all Conns are busy the schedule blocks
+// until one frees (the closed-loop bound that keeps a slow server from
+// accumulating unbounded sockets), surfacing as MaxLagSec.
+type LoadGen struct {
+	BaseURL  string // e.g. "http://127.0.0.1:8080"
+	Pipeline string
+	// Conns bounds concurrent in-flight requests (default 64).
+	Conns int
+	// Client overrides the pooled default (tests inject
+	// httptest.Server.Client()).
+	Client *http.Client
+}
+
+// Run plays the trace's arrival schedule against the server, blocking until
+// every response is in. The context cancels outstanding sleeps and requests.
+func (g *LoadGen) Run(ctx context.Context, tr *trace.Trace, rng *rand.Rand) (LoadResult, error) {
+	conns := g.Conns
+	if conns <= 0 {
+		conns = 64
+	}
+	client := g.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        conns,
+			MaxIdleConnsPerHost: conns,
+		}}
+	}
+	url := fmt.Sprintf("%s/v1/%s/infer", g.BaseURL, g.Pipeline)
+
+	var res LoadResult
+	var retrySum atomic.Int64 // micros, summed across shed responses
+	var maxLagMicros atomic.Int64
+	sem := make(chan struct{}, conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	arrivals := tr.Arrivals(rng)
+loop:
+	for i, at := range arrivals {
+		if d := time.Duration(at*float64(time.Second)) - time.Since(start); d > 0 {
+			select {
+			case <-ctx.Done():
+				break loop
+			case <-time.After(d):
+			}
+		}
+		select {
+		case <-ctx.Done():
+			break loop
+		case sem <- struct{}{}:
+		}
+		lag := time.Since(start) - time.Duration(at*float64(time.Second))
+		if mu := lag.Microseconds(); mu > maxLagMicros.Load() {
+			maxLagMicros.Store(mu)
+		}
+		atomic.AddInt64(&res.Sent, 1)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			body := bytes.NewReader([]byte(fmt.Sprintf(`{"id":%d}`, i)))
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, body)
+			if err != nil {
+				atomic.AddInt64(&res.Errors, 1)
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := client.Do(req)
+			if err != nil {
+				atomic.AddInt64(&res.Errors, 1)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusAccepted:
+				atomic.AddInt64(&res.Accepted, 1)
+			case http.StatusTooManyRequests:
+				atomic.AddInt64(&res.Shed, 1)
+				var ra float64
+				fmt.Sscanf(resp.Header.Get("Retry-After"), "%f", &ra)
+				retrySum.Add(int64(ra * 1e6))
+			default:
+				atomic.AddInt64(&res.Errors, 1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if res.Shed > 0 {
+		res.RetryAfterMeanSec = float64(retrySum.Load()) / 1e6 / float64(res.Shed)
+	}
+	res.MaxLagSec = float64(maxLagMicros.Load()) / 1e6
+	return res, ctx.Err()
+}

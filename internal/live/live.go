@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"loki/internal/core"
+	"loki/internal/ingress"
 	"loki/internal/metrics"
 	"loki/internal/pipeline"
 	"loki/internal/policy"
@@ -48,6 +49,11 @@ type Options struct {
 	// OnTaskDemand, when non-nil, receives per-task arrival counts every
 	// housekeeping second (the Proteus-like baseline's per-task history).
 	OnTaskDemand func(task pipeline.TaskID, count float64)
+
+	// Admission, when non-nil, is consulted on every injection path (Submit
+	// and Feed alike) before a request enters the system; refused requests
+	// are shed — counted, reported to the collector, never queued.
+	Admission *ingress.Admission
 }
 
 // Engine is the live serving system.
@@ -87,6 +93,8 @@ type Engine struct {
 	TotalCompleted int64
 	TotalDropped   int64
 	TotalRerouted  int64
+	TotalShed      int64
+	inFlightN      int64 // admitted roots not yet finished (the saturation signal)
 }
 
 type worker struct {
@@ -434,7 +442,9 @@ func (e *Engine) recordErr(err error) {
 	e.mu.Unlock()
 }
 
-// Submit admits one request at the current wall-clock instant.
+// Submit admits one request at the current wall-clock instant. With an
+// admission controller armed, a refused request returns *ingress.ShedError
+// (carrying the Retry-After hint) and never enters the system.
 func (e *Engine) Submit() error {
 	e.mu.Lock()
 	if !e.started || e.stopped {
@@ -444,7 +454,9 @@ func (e *Engine) Submit() error {
 	e.injectors.Add(1)
 	e.mu.Unlock()
 	defer e.injectors.Done()
-	e.inject()
+	if ok, retry := e.inject(); !ok {
+		return &ingress.ShedError{RetryAfterSec: retry}
+	}
 	return nil
 }
 
@@ -535,10 +547,17 @@ func (e *Engine) Now() float64 {
 }
 
 // Totals returns the cumulative request counters under the engine lock.
-func (e *Engine) Totals() (injected, completed, dropped, rerouted int64) {
+func (e *Engine) Totals() (injected, completed, dropped, rerouted, shed int64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.TotalInjected, e.TotalCompleted, e.TotalDropped, e.TotalRerouted
+	return e.TotalInjected, e.TotalCompleted, e.TotalDropped, e.TotalRerouted, e.TotalShed
+}
+
+// InFlight returns the number of admitted requests not yet resolved.
+func (e *Engine) InFlight() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.inFlightN
 }
 
 // colLocked guards against a nil collector; the Collector itself is
@@ -550,12 +569,27 @@ func (e *Engine) colLocked(f func(*metrics.Collector)) {
 	f(e.col)
 }
 
-// inject admits one client request.
-func (e *Engine) inject() {
+// inject admits one client request. With an admission controller armed the
+// request may instead be shed, returning false and a Retry-After hint.
+func (e *Engine) inject() (admitted bool, retryAfterSec float64) {
 	now := e.now()
 	e.mu.Lock()
+	// Offered demand counts shed requests too: the demand observation feeds
+	// the planner, and the admission rate follows the planner's grants — if
+	// shedding hid the excess, observed demand would be capped at the granted
+	// rate and the system could never scale up out of an overload.
 	e.arrivals++
+	adm := e.opts.Admission
+	if adm != nil {
+		if ok, retry := adm.Admit(now, e.inFlightN); !ok {
+			e.TotalShed++
+			e.mu.Unlock()
+			e.colLocked(func(c *metrics.Collector) { c.Shed(now) })
+			return false, retry
+		}
+	}
 	e.TotalInjected++
+	e.inFlightN++
 	routes := e.routes
 	var target core.WorkerID
 	ok := false
@@ -564,17 +598,23 @@ func (e *Engine) inject() {
 	}
 	e.mu.Unlock()
 
-	e.colLocked(func(c *metrics.Collector) { c.Arrival(now) })
+	e.colLocked(func(c *metrics.Collector) {
+		c.Arrival(now)
+		if adm != nil {
+			c.Admitted(now)
+		}
+	})
 	root := &rootReq{arrived: now, deadline: now + e.opts.SLOSec}
 	if !ok {
 		root.dropped = true
 		e.finish(root)
-		return
+		return true, 0
 	}
 	root.outstanding = 1
 	e.inflight.Add(1)
 	sub := &subreq{root: root, task: 0, acc: 1}
 	go e.deliver(sub, target)
+	return true, 0
 }
 
 // deliver moves a subrequest to a worker after one (scaled) network hop.
@@ -758,6 +798,7 @@ func (e *Engine) abandonLocked(sub *subreq) {
 func (e *Engine) finish(root *rootReq) {
 	now := e.now()
 	e.mu.Lock()
+	e.inFlightN--
 	if root.dropped {
 		e.TotalDropped++
 	} else {

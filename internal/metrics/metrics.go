@@ -34,6 +34,8 @@ type Collector struct {
 
 type bucket struct {
 	arrivals    int
+	admitted    int // passed an admission controller (zero when none is armed)
+	shed        int // refused by admission control before entering the system
 	completed   int // answered in time
 	late        int // answered past the deadline
 	dropped     int // preemptively dropped or lost
@@ -69,6 +71,27 @@ func (c *Collector) Arrival(t float64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.at(t).arrivals++
+}
+
+// Admitted records a request passing admission control at time t. It is
+// recorded in addition to Arrival (admitted requests are arrivals), only on
+// systems with an admission controller armed — on systems without one both
+// admitted and shed stay zero, which is how reports distinguish "no
+// admission control" from "nothing shed".
+func (c *Collector) Admitted(t float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.at(t).admitted++
+}
+
+// Shed records a request refused by admission control at time t. Shed
+// requests never entered the system: they are not arrivals, and they carry
+// no SLO violation — attainment is measured over the admitted population,
+// with the shed series reported alongside.
+func (c *Collector) Shed(t float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.at(t).shed++
 }
 
 // Completed records a request answered at time t. late marks completion past
@@ -162,7 +185,14 @@ type Point struct {
 	ViolationRatio float64 // (late+dropped)/arrivals
 	Utilization    float64 // active servers / cluster size
 	Servers        float64
-	Arrivals       int // requests arriving in the bucket
+	// GoodputQPS counts only on-time completions per second (ServedQPS
+	// minus the late ones) — the overload-sweep metric that shedding is
+	// meant to protect.
+	GoodputQPS float64
+	Arrivals   int // requests arriving in the bucket
+	// Shed counts requests refused by admission control in the bucket; they
+	// are not part of Arrivals (they never entered the system).
+	Shed int
 	// Violations counts requests that finished late or were dropped,
 	// attributed to the bucket they *arrived* in (late/dropped above are
 	// attributed to completion/drop time). Pairing Violations with Arrivals
@@ -176,11 +206,12 @@ func (c *Collector) Series() []Point {
 	defer c.mu.Unlock()
 	out := make([]Point, len(c.buckets))
 	for i, b := range c.buckets {
-		p := Point{TimeSec: float64(i) * c.BucketSec, Arrivals: b.arrivals, Violations: b.violByArr}
+		p := Point{TimeSec: float64(i) * c.BucketSec, Arrivals: b.arrivals, Shed: b.shed, Violations: b.violByArr}
 		if b.demandN > 0 {
 			p.DemandQPS = b.demandSum / float64(b.demandN)
 		}
 		p.ServedQPS = float64(b.completed+b.late) / c.BucketSec
+		p.GoodputQPS = float64(b.completed) / c.BucketSec
 		if b.accuracyN > 0 {
 			p.Accuracy = b.accuracySum / float64(b.accuracyN)
 		}
@@ -201,6 +232,8 @@ func (c *Collector) Series() []Point {
 // Summary is the whole-run aggregate.
 type Summary struct {
 	Arrivals       int
+	Admitted       int // passed admission control (zero when none is armed)
+	Shed           int // refused by admission control; offered load = Arrivals + Shed
 	Completed      int // answered on time
 	Late           int
 	Dropped        int
@@ -235,6 +268,8 @@ func (c *Collector) Summarize() Summary {
 	latSum := 0.0
 	for _, b := range c.buckets {
 		s.Arrivals += b.arrivals
+		s.Admitted += b.admitted
+		s.Shed += b.shed
 		s.Completed += b.completed
 		s.Late += b.late
 		s.Dropped += b.dropped
@@ -307,6 +342,8 @@ func Merge(sums ...Summary) Summary {
 	answered := 0
 	for _, s := range sums {
 		out.Arrivals += s.Arrivals
+		out.Admitted += s.Admitted
+		out.Shed += s.Shed
 		out.Completed += s.Completed
 		out.Late += s.Late
 		out.Dropped += s.Dropped

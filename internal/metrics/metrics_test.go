@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -212,5 +213,71 @@ func TestMergeSummaries(t *testing.T) {
 	}
 	if got := Merge(); got.Arrivals != 0 || got.ViolationRatio != 0 {
 		t.Fatalf("empty merge not zero: %+v", got)
+	}
+}
+
+// Merge has silently dropped newly added count fields before (a field added to
+// Summary without a matching line in Merge just vanishes from aggregates).
+// This test walks every int field reflectively: seed two summaries with
+// distinct nonzero values in each, merge, and require the sum — so a future
+// field that Merge forgets fails here by name.
+func TestMergeSumsEveryIntField(t *testing.T) {
+	mk := func(base int) Summary {
+		var s Summary
+		v := reflect.ValueOf(&s).Elem()
+		for i := 0; i < v.NumField(); i++ {
+			if v.Field(i).Kind() == reflect.Int {
+				v.Field(i).SetInt(int64(base + i))
+			}
+		}
+		return s
+	}
+	a, b := mk(10), mk(1000)
+	m := Merge(a, b)
+	va, vb, vm := reflect.ValueOf(a), reflect.ValueOf(b), reflect.ValueOf(m)
+	typ := reflect.TypeOf(a)
+	for i := 0; i < typ.NumField(); i++ {
+		if typ.Field(i).Type.Kind() != reflect.Int {
+			continue
+		}
+		want := va.Field(i).Int() + vb.Field(i).Int()
+		if got := vm.Field(i).Int(); got != want {
+			t.Errorf("Merge dropped Summary.%s: got %d, want %d", typ.Field(i).Name, got, want)
+		}
+	}
+}
+
+// Shed requests are accounted beside, not inside, the admitted population.
+func TestShedAndAdmittedCounters(t *testing.T) {
+	c := NewCollector(10, 4)
+	for i := 0; i < 3; i++ {
+		c.Arrival(1)
+		c.Admitted(1)
+	}
+	c.Shed(2)
+	c.Shed(12) // next bucket
+	s := c.Summarize()
+	if s.Arrivals != 3 || s.Admitted != 3 || s.Shed != 2 {
+		t.Fatalf("summary = %+v, want arrivals=admitted=3 shed=2", s)
+	}
+	pts := c.Series()
+	if len(pts) != 2 || pts[0].Shed != 1 || pts[1].Shed != 1 {
+		t.Fatalf("per-bucket shed = %+v", pts)
+	}
+}
+
+// GoodputQPS counts only on-time completions; ServedQPS keeps counting both.
+func TestGoodputExcludesLate(t *testing.T) {
+	c := NewCollector(10, 4)
+	c.Arrival(0)
+	c.Arrival(0)
+	c.Completed(1, false, 0.1, 1.0)
+	c.Completed(1, true, 0.6, 1.0)
+	pts := c.Series()
+	if math.Abs(pts[0].ServedQPS-0.2) > 1e-12 {
+		t.Fatalf("ServedQPS = %g, want 0.2", pts[0].ServedQPS)
+	}
+	if math.Abs(pts[0].GoodputQPS-0.1) > 1e-12 {
+		t.Fatalf("GoodputQPS = %g, want 0.1 (the on-time answer only)", pts[0].GoodputQPS)
 	}
 }

@@ -185,6 +185,7 @@ type config struct {
 	engine     EngineKind
 	timeScale  float64
 	fc         forecastConfig
+	admission  bool
 	// Zero values mean "on": the fast planning path is the default and
 	// these record the escape hatches.
 	plannerCacheOff     bool
@@ -338,6 +339,19 @@ func WithParallelPlanning(on bool) Option {
 	return func(c *config) { c.parallelPlanningOff = !on }
 }
 
+// WithAdmission arms per-pipeline admission control and load shedding
+// (default off). Each pipeline gets a token-bucket admission controller in
+// front of its queues whose target rate follows the capacity the joint
+// allocator actually granted it — the summed service rate of its root-task
+// replicas, refreshed on every plan publication — plus a saturation limit on
+// in-flight work. Arrivals beyond the admitted rate are shed immediately:
+// Submit returns ErrOverloaded (carrying a Retry-After hint, see RetryAfter)
+// and the HTTP front door answers 429, instead of letting excess requests
+// queue past their SLO. Shed requests still count toward the demand the
+// planner observes, so a shedding system scales up and the admitted rate
+// follows.
+func WithAdmission(on bool) Option { return func(c *config) { c.admission = on } }
+
 // Report is the outcome of a serving run.
 type Report struct {
 	// Pipeline labels which pipeline the totals belong to. Empty on a
@@ -358,6 +372,11 @@ type Report struct {
 	MeanLatency time.Duration
 	// Requests breakdown.
 	Arrivals, Completed, Late, Dropped, Rerouted int64
+	// Admitted and Shed are admission-control totals: requests that passed a
+	// pipeline's admission controller and requests it refused. Both stay zero
+	// unless WithAdmission armed one — shed requests are not Arrivals (they
+	// never entered the system), so offered load is Arrivals + Shed.
+	Admitted, Shed int64
 	// MeanServersByClass breaks MeanServers down per hardware class (keyed
 	// by class name). Nil on runs without hardware-class accounting.
 	MeanServersByClass map[string]float64
@@ -390,6 +409,12 @@ func (r *Report) String() string {
 	s := fmt.Sprintf("%saccuracy=%.4f slo-violations=%.4f servers=%.1f (min %.0f, max %.0f) requests=%d (late %d, dropped %d)",
 		label, r.Accuracy, r.SLOViolationRatio, r.MeanServers, r.MinServers, r.MaxServers,
 		r.Arrivals, r.Late, r.Dropped)
+	// The shed column appears only when an admission controller was armed
+	// (Admitted > 0 or Shed > 0), so admission-free reports render
+	// byte-identically to the historical format.
+	if r.Admitted > 0 || r.Shed > 0 {
+		s += fmt.Sprintf(" shed=%d", r.Shed)
+	}
 	if r.ServerCostHours > 0 {
 		s += fmt.Sprintf(" cost=$%.2f ($%.6f/query)", r.ServerCostHours, r.CostPerQuery)
 	}

@@ -4,14 +4,35 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
+	"time"
 
 	"loki/internal/baselines"
 	"loki/internal/core"
 	"loki/internal/experiments"
+	"loki/internal/ingress"
 )
 
 // ErrStopped is returned by Submit and Feed after Stop.
 var ErrStopped = errors.New("loki: system is stopped")
+
+// ErrOverloaded is the sentinel Submit errors match (errors.Is) when an
+// admission controller armed by WithAdmission sheds the request: the
+// pipeline is over its granted rate (or saturated) and the caller should
+// back off for the RetryAfter hint rather than retry immediately. The HTTP
+// front door translates it to 429 + Retry-After.
+var ErrOverloaded = ingress.ErrShed
+
+// RetryAfter extracts the back-off hint from an ErrOverloaded error: how
+// long until the shedding pipeline expects capacity again. ok is false when
+// err carries no admission decision.
+func RetryAfter(err error) (d time.Duration, ok bool) {
+	var se *ingress.ShedError
+	if !errors.As(err, &se) {
+		return 0, false
+	}
+	return time.Duration(se.RetryAfterSec * float64(time.Second)), true
+}
 
 // defaultPipeline names the single tenant a System registers with its
 // underlying MultiSystem.
@@ -112,6 +133,9 @@ type Snapshot struct {
 	TimeSec float64
 	// Arrivals, Completed, Dropped, and Rerouted are request totals so far.
 	Arrivals, Completed, Dropped, Rerouted int64
+	// Shed counts requests refused by admission control (WithAdmission);
+	// they are not part of Arrivals. Zero when no controller is armed.
+	Shed int64
 	// InFlight is the number of admitted requests not yet resolved.
 	InFlight int64
 	// ActiveServers counts workers currently hosting a model variant.
@@ -137,6 +161,15 @@ type Snapshot struct {
 	// horizon (see WithForecaster). Without a forecaster it equals the
 	// smoothed demand estimate — the value the reactive planner uses.
 	PredictedDemand float64
+	// AdmittedQPS and ShedQPS are the admission controller's live gauges —
+	// admitted and shed request rates over the trailing few seconds. Zero
+	// without WithAdmission.
+	AdmittedQPS, ShedQPS float64
+	// GrantedRateQPS is the admission controller's current target rate: the
+	// frontend capacity the joint allocator granted this pipeline on the
+	// last adaptation round. Zero without WithAdmission (use GrantedRate for
+	// the derivation on admission-free systems).
+	GrantedRateQPS float64
 }
 
 // Snapshot returns live counters without disturbing the run.
@@ -166,3 +199,21 @@ func (s *System) Report() *Report {
 	r.Pipeline = "" // a single-pipeline report needs no tenant label
 	return r
 }
+
+// GrantedRate returns the frontend capacity the Resource Manager currently
+// grants the pipeline, in requests per second — the rate an armed admission
+// controller admits at (zero before the first allocation).
+func (s *System) GrantedRate() float64 {
+	qps, _ := s.ms.GrantedRate(defaultPipeline)
+	return qps
+}
+
+// ServeHTTP exposes the system's single pipeline over HTTP under the name
+// "default" (POST /v1/default/infer, GET /v1/default/snapshot, GET
+// /healthz) — see MultiSystem.ServeHTTP.
+func (s *System) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.ms.ServeHTTP(w, r) }
+
+// Drain puts the HTTP front door into draining mode (503 on new requests)
+// while in-flight work keeps being served; follow with Stop. See
+// MultiSystem.Drain.
+func (s *System) Drain() { s.ms.Drain() }

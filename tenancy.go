@@ -4,11 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"loki/internal/core"
 	"loki/internal/engine"
+	"loki/internal/ingress"
 	"loki/internal/metrics"
 )
 
@@ -73,6 +76,9 @@ type msTenant struct {
 	planner core.Planner
 	col     *metrics.Collector
 	ecfg    engine.TenantConfig
+	// adm is the pipeline's admission controller (nil unless WithAdmission
+	// armed one); its target rate is refreshed on every plan publication.
+	adm *ingress.Admission
 	// fcHorizon is the resolved forecast planning horizon in seconds.
 	fcHorizon float64
 }
@@ -101,6 +107,12 @@ type MultiSystem struct {
 
 	eng  engine.MultiEngine
 	ctrl *core.MultiController
+
+	// HTTP front door state (see ServeHTTP and Drain). draining is atomic so
+	// the handler's fast path never takes m.mu.
+	httpOnce sync.Once
+	httpSrv  *ingress.Server
+	draining atomic.Bool
 }
 
 // NewMulti creates an empty multi-tenant serving system over a shared pool
@@ -212,6 +224,15 @@ func (m *MultiSystem) AddPipeline(name string, p *Pipeline, opts ...PipelineOpti
 	if proteus != nil {
 		t.ecfg.OnTaskDemand = proteus.ObserveTaskDemand
 	}
+	if m.cfg.admission {
+		t.adm = ingress.NewAdmission(ingress.Config{
+			SLOSec: pc.slo.Seconds(),
+			// Granted routes carry the planner's headroom-inflated ceiling;
+			// admit at the demand the plan was actually sized for.
+			TargetUtilization: 1 / (1 + m.cfg.headroomOrDefault()),
+		})
+		t.ecfg.Admission = t.adm
+	}
 	m.byName[name] = len(m.tenants)
 	m.tenants = append(m.tenants, t)
 	return nil
@@ -261,7 +282,21 @@ func (m *MultiSystem) buildLocked() error {
 	}
 	ctenants := make([]*core.Tenant, len(m.tenants))
 	for i, t := range m.tenants {
-		i := i
+		i, adm := i, t.adm
+		// An admission-fronted tenant never has to plan for overload: the
+		// front door sheds whatever the pool cannot serve within the SLO, so
+		// cap its planning demand at that capacity. Without the cap an
+		// overload pushes the planner into a saturated throughput-optimal
+		// plan whose oversized batches miss the SLO by construction, and
+		// admission throttling arrivals into such a plan only starves its
+		// batches. MaxCapacity bisects ~24 solves; it runs once, here, at
+		// control-plane build time.
+		var demandCap float64
+		if adm != nil {
+			if alloc, ok := t.planner.(*core.Allocator); ok {
+				demandCap = alloc.MaxCapacity(0, 20000)
+			}
+		}
 		ctenants[i] = &core.Tenant{
 			Name:               t.name,
 			Meta:               t.meta,
@@ -269,9 +304,18 @@ func (m *MultiSystem) buildLocked() error {
 			MinShare:           t.pcfg.share,
 			RouteHeadroom:      m.cfg.headroomOrDefault(),
 			ForecastHorizonSec: t.fcHorizon,
+			DemandCapQPS:       demandCap,
 			CacheDisabled:      m.cfg.plannerCacheOff,
 			Publish: func(plan *core.Plan, routes *core.Routes) {
 				eng.ApplyPlan(i, plan, routes)
+				if adm != nil {
+					// The admission target follows every publication: the
+					// granted capacity is the summed service rate of the
+					// root-task replicas just routed. Publications repeat
+					// every rebalance, so SetRate must be (and is) a no-op
+					// at a steady rate.
+					adm.SetRate(eng.Now(), ingress.FrontendRate(routes))
+				}
 			},
 		}
 	}
@@ -459,12 +503,17 @@ func (m *MultiSystem) Snapshot(pipeline string) (Snapshot, error) {
 		Completed:       st.Completed,
 		Dropped:         st.Dropped,
 		Rerouted:        st.Rerouted,
+		Shed:            st.Shed,
 		InFlight:        st.Injected - st.Completed - st.Dropped,
 		ActiveServers:   m.eng.ActiveServers(i),
 		GrantedServers:  m.ctrl.Grants()[i],
 		Allocates:       m.ctrl.AllocatesOf(i),
 		ObservedDemand:  t.meta.LastObservedDemand(),
 		PredictedDemand: t.meta.PredictedDemand(t.fcHorizon),
+	}
+	if t.adm != nil {
+		snap.AdmittedQPS, snap.ShedQPS = t.adm.Rates(snap.TimeSec)
+		snap.GrantedRateQPS = t.adm.Rate()
 	}
 	if classes := t.meta.Classes(); len(classes) > 1 {
 		active := m.eng.ActiveByClass(i)
@@ -527,6 +576,54 @@ func (m *MultiSystem) Grants() map[string]int {
 	}
 	return out
 }
+
+// GrantedRate returns the named pipeline's granted frontend capacity in
+// requests per second: the summed service rate of the root-task replicas in
+// its standing routing tables — the rate an armed admission controller
+// admits at. Zero before the first allocation; available with or without
+// WithAdmission.
+func (m *MultiSystem) GrantedRate(pipeline string) (float64, error) {
+	m.mu.Lock()
+	i, err := m.index(pipeline)
+	built := m.built
+	m.mu.Unlock()
+	if err != nil || !built {
+		return 0, err
+	}
+	return ingress.FrontendRate(m.ctrl.RoutesOf(i)), nil
+}
+
+// ServeHTTP exposes the system over HTTP (the ingress front door):
+//
+//	POST /v1/{pipeline}/infer     admit one request (202, or 429 + Retry-After
+//	                              when WithAdmission sheds it)
+//	GET  /v1/{pipeline}/snapshot  live Snapshot as JSON
+//	GET  /healthz                 200 while serving, 503 while draining
+//
+// The first request freezes pipeline registration (like the first injection).
+// Mount it on any http.Server; handlers are safe for concurrent use on the
+// Wallclock engine, which is the engine a networked front door wants —
+// virtual time does not advance between requests on the Simulated engine.
+func (m *MultiSystem) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	m.httpOnce.Do(func() {
+		m.httpSrv = ingress.NewServer(ingress.ServerConfig{
+			Pipelines: m.Pipelines(),
+			Submit:    m.Submit,
+			Snapshot: func(pipeline string) (any, error) {
+				return m.Snapshot(pipeline)
+			},
+			Draining: m.draining.Load,
+		})
+	})
+	m.httpSrv.ServeHTTP(w, r)
+}
+
+// Drain puts the HTTP front door into draining mode: infer requests and
+// health checks answer 503 (telling load balancers to stop sending traffic)
+// while in-flight work keeps being served and the observation endpoints stay
+// up. Draining is one-way; follow with Stop to wait out the in-flight work.
+// Direct Submit and Feed calls are unaffected.
+func (m *MultiSystem) Drain() { m.draining.Store(true) }
 
 // Report summarizes the named pipeline's run so far with the §6.1 metrics,
 // labeled with the pipeline name.
@@ -610,6 +707,8 @@ func summaryToReport(sum metrics.Summary, rerouted int64) *Report {
 		Late:              int64(sum.Late),
 		Dropped:           int64(sum.Dropped),
 		Rerouted:          rerouted,
+		Admitted:          int64(sum.Admitted),
+		Shed:              int64(sum.Shed),
 		ServerCostHours:   sum.CostHours,
 	}
 	if len(sum.ClassNames) > 0 {
