@@ -318,6 +318,40 @@ func BenchmarkIngressOverload(b *testing.B) {
 	b.ReportMetric(100*last.Admitted[1].ShedRate, "adm_2x_shed_%")
 }
 
+// BenchmarkChaosOutage runs the chaos grid's headline cell per iteration —
+// a whole-class spot outage with timed recovery, tiered vs untiered, on the
+// quick trace — and reports the during-fault goodput of every (arm, tenant)
+// pair plus the tiered arm's post-recovery gap to the oracle. The
+// regression canaries for the failure model: the tiered arm must hold the
+// high tier through the outage (tiered_gold_during ≥ 0.95) while the
+// untiered arm degrades both tenants, and recovery must land within 2% of
+// the fault-free oracle. The recorded full-length baseline lives in
+// BENCH_chaos.json.
+func BenchmarkChaosOutage(b *testing.B) {
+	var last *experiments.ChaosResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Chaos(experiments.ChaosConfig{
+			Seed: 11, Quick: true, Faults: []string{"outage"},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for _, cell := range last.Cells {
+		arm := "untiered"
+		if cell.Tiered {
+			arm = "tiered"
+		}
+		for _, t := range cell.Tenants {
+			b.ReportMetric(t.During.GoodputRatio, arm+"_"+t.Name+"_during")
+			if cell.Tiered {
+				b.ReportMetric(t.After.GoodputRatio-t.OracleAfter.GoodputRatio, arm+"_"+t.Name+"_recovery_gap")
+			}
+		}
+	}
+}
+
 // BenchmarkForecastSpike runs the proactive-provisioning experiment per
 // iteration (reactive vs trend vs Holt-Winters on an identical flash crowd
 // and an identical diurnal cycle) and reports every run's window SLO

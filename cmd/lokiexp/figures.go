@@ -135,6 +135,17 @@ func ingressFig(seed int64, servers int, sloSec float64, quick bool) error {
 	return nil
 }
 
+func chaos(seed int64, sloSec float64, quick bool) error {
+	r, err := experiments.Chaos(experiments.ChaosConfig{
+		SLOSec: sloSec, Seed: seed, Quick: quick,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatChaos(r))
+	return nil
+}
+
 func multitenant(seed int64, servers int, sloSec float64, quick bool) error {
 	steps := 48
 	if quick {

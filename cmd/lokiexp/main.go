@@ -14,6 +14,7 @@
 //	lokiexp -fig multitenant # shared-pool contention across two pipelines
 //	lokiexp -fig forecast   # reactive vs proactive (forecast-driven) serving
 //	lokiexp -fig ingress    # HTTP front door: admission control under overload
+//	lokiexp -fig chaos      # fault injection: crash/outage/straggler × tiers
 //	lokiexp -fig validate   # simulator-vs-prototype validation (§6.2)
 //	lokiexp -fig runtime    # Resource Manager / Load Balancer overhead (§6.5)
 //	lokiexp -fig all        # everything
@@ -34,7 +35,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1, 3, 5, 6, 7, 8, hetero, multitenant, forecast, ingress, validate, runtime, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 3, 5, 6, 7, 8, hetero, multitenant, forecast, ingress, chaos, validate, runtime, all")
 	seed := flag.Int64("seed", 11, "random seed")
 	servers := flag.Int("servers", 20, "cluster size")
 	sloMs := flag.Float64("slo", 250, "latency SLO in milliseconds")
@@ -129,6 +130,11 @@ func main() {
 	if all || *fig == "ingress" {
 		run("Ingress: admission control under overload (real sockets)", func() error {
 			return ingressFig(*seed, *servers, *sloMs/1000, *quick)
+		})
+	}
+	if all || *fig == "chaos" {
+		run("Chaos: fault injection, tiers, and degradation order", func() error {
+			return chaos(*seed, *sloMs/1000, *quick)
 		})
 	}
 	if all || *fig == "validate" {

@@ -13,6 +13,10 @@
 // sweep point runs -dur seconds at mult×qps):
 //
 //	lokiload -url http://localhost:8080 -pipeline traffic,social -qps 400,200 -sweep 0.5,1,2 -out sweep.json
+//
+// With -retries N, each shed request is re-sent up to N times after sleeping
+// for the server's Retry-After hint (with jitter); the report then separates
+// requests salvaged by retrying (retried-ok) from those shed for good.
 package main
 
 import (
@@ -50,6 +54,7 @@ func main() {
 	sweep := flag.String("sweep", "1", "overload multipliers swept over the base rates (comma-separated)")
 	durFlag := flag.Duration("dur", 10*time.Second, "duration per sweep point")
 	conns := flag.Int("conns", 64, "connection-pool bound per pipeline (closed-loop limit)")
+	retries := flag.Int("retries", 0, "per-request retry budget on 429s, honoring Retry-After with jitter")
 	seed := flag.Int64("seed", 1, "random seed for the Poisson arrival schedule")
 	out := flag.String("out", "", "write the sweep results as JSON to this file")
 	flag.Parse()
@@ -97,7 +102,7 @@ func main() {
 			go func(i int, name string) {
 				defer wg.Done()
 				q := base[i] * mult
-				g := &ingress.LoadGen{BaseURL: *url, Pipeline: name, Conns: *conns, Client: client}
+				g := &ingress.LoadGen{BaseURL: *url, Pipeline: name, Conns: *conns, Retries: *retries, Client: client}
 				rng := rand.New(rand.NewSource(*seed + int64(pi*len(names)+i)))
 				res, err := g.Run(ctx, trace.Ramp(q, q, 1, dur), rng)
 				if err != nil && ctx.Err() == nil {
@@ -111,8 +116,9 @@ func main() {
 		wg.Wait()
 		for i, name := range names {
 			res := ph.Pipelines[name]
-			fmt.Printf("mult=%.2g [%-8s] offered=%.0f qps sent=%-7d accepted=%-7d shed=%-6d errors=%-5d shed-rate=%.1f%% retry-after=%.1fs max-lag=%.2fs\n",
+			fmt.Printf("mult=%.2g [%-8s] offered=%.0f qps sent=%-7d accepted=%-7d shed=%-6d errors=%-5d retries=%-5d retried-ok=%-5d shed-rate=%.1f%% retry-after=%.1fs max-lag=%.2fs\n",
 				mult, name, base[i]*mult, res.Sent, res.Accepted, res.Shed, res.Errors,
+				res.Retries, res.RetriedOK,
 				pct(res.Shed, res.Sent), res.RetryAfterMeanSec, res.MaxLagSec)
 		}
 		phases = append(phases, ph)

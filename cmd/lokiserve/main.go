@@ -19,6 +19,15 @@
 //	lokiserve -pipeline traffic -trace flash -forecaster holtwinters
 //	lokiserve -pipeline traffic -trace diurnal -steps 48 -step 5 -forecaster holtwinters -season 120
 //
+// Chaos drills — a deterministic fault schedule (-fault) injects crashes,
+// whole-class outages, or stragglers into either engine, with each event
+// logged in the status stream as it fires; service tiers (-tier, one per
+// pipeline) order who degrades first when the survivors cannot carry
+// everyone:
+//
+//	lokiserve -pipeline traffic,social -tier 1,0 -hardware a100:12@1.0,spot:8@1.0 \
+//	    -engine live -fault outage@30s:class=spot:recover=30s
+//
 // With -engine live the monitor goroutine observes the system concurrently
 // with serving (Snapshot is concurrency-safe on the wall-clock engine); with
 // -engine sim the run happens in virtual time and snapshots are printed
@@ -72,6 +81,8 @@ func main() {
 	listen := flag.String("listen", "", "serve the HTTP front door on this address (e.g. :8080) instead of the demo loop; implies -engine live")
 	admission := flag.Bool("admission", false, "arm per-pipeline admission control and load shedding (429 + Retry-After over HTTP)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for -listen: drain in-flight work this long before exiting")
+	faults := flag.String("fault", "", "fault schedule, e.g. crash@30s:class=a100:n=2:recover=20s,outage@60s:class=spot:recover=30s (kinds crash, outage, straggle; keys class=, n=, factor=, recover=)")
+	tiers := flag.String("tier", "", "service tier(s) under contention, higher sheds last (comma-separated, one per pipeline; blank = untiered)")
 	flag.Parse()
 
 	names := strings.Split(*pipeNames, ",")
@@ -108,6 +119,18 @@ func main() {
 	if *admission {
 		opts = append(opts, loki.WithAdmission(true))
 	}
+	if *faults != "" {
+		events, err := loki.ParseFaults(*faults)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, loki.WithFaults(events...),
+			// Interleaves with the monitor's status lines: faults announce
+			// themselves the moment they fire rather than a tick later.
+			loki.WithFaultObserver(func(timeSec float64, event string) {
+				fmt.Printf("t=%7.1fs  ** fault: %s\n", timeSec, event)
+			}))
+	}
 	live := *engName == "live"
 	switch *engName {
 	case "sim":
@@ -141,6 +164,18 @@ func main() {
 					log.Fatalf("bad share %q: %v", s, err)
 				}
 				popts = append(popts, loki.WithShare(f))
+			}
+		}
+		// Tiers likewise: a blank entry stays untiered (tier 0) instead of
+		// inheriting the neighbour's priority.
+		tierList := strings.Split(*tiers, ",")
+		if i < len(tierList) {
+			if s := strings.TrimSpace(tierList[i]); s != "" {
+				n, err := strconv.Atoi(s)
+				if err != nil || n < 0 {
+					log.Fatalf("bad tier %q: want a non-negative integer", s)
+				}
+				popts = append(popts, loki.WithTier(n, *slo))
 			}
 		}
 		// Forecasters follow the same per-pipeline convention: a blank entry

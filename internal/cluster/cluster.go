@@ -89,17 +89,25 @@ type Cluster struct {
 	DropsNoRoute   int64
 	DropsPolicy    int64
 	DropsStale     int64
+	DropsFault     int64
 }
 
 type worker struct {
 	phys      int
 	class     int              // hardware class index (fixed for the worker's lifetime)
-	speed     float64          // the class's execution speed
+	speed     float64          // current execution speed (baseSpeed × straggler factor)
+	baseSpeed float64          // the class's nominal execution speed
 	spec      *core.WorkerSpec // nil when idle (server shut down)
 	queue     []*subrequest
 	busy      bool
 	swapUntil float64
 	qcap      int
+
+	// Fault state: a down worker is invisible to plan claiming and active
+	// counts; gen increments on every crash so a stale completion closure
+	// can tell its batch died with the old incarnation.
+	down bool
+	gen  int
 
 	// Heartbeat accumulators: inputs executed and outputs emitted.
 	hbIn, hbOut int
@@ -157,7 +165,7 @@ func New(eng *sim.Engine, meta *core.MetadataStore, pol policy.Policy, col *metr
 			speed = 1.0
 		}
 		for i := 0; i < class.Count; i++ {
-			c.workers = append(c.workers, &worker{phys: len(c.workers), class: cl, speed: speed})
+			c.workers = append(c.workers, &worker{phys: len(c.workers), class: cl, speed: speed, baseSpeed: speed})
 		}
 	}
 	c.taskArrivals = make([]int, len(c.g.Tasks))
@@ -266,7 +274,7 @@ func (c *Cluster) ApplyPlan(plan *core.Plan, routes *core.Routes) {
 		s := &routes.Specs[i]
 		found := false
 		for wi, w := range c.workers {
-			if !claimed[wi] && w.spec != nil && key(w.spec) == key(s) {
+			if !claimed[wi] && !w.down && w.spec != nil && key(w.spec) == key(s) {
 				claimed[wi] = true
 				assign[wi] = s
 				found = true
@@ -279,7 +287,7 @@ func (c *Cluster) ApplyPlan(plan *core.Plan, routes *core.Routes) {
 	}
 	for _, s := range unmatched {
 		for wi, w := range c.workers {
-			if !claimed[wi] && w.class == s.Class {
+			if !claimed[wi] && !w.down && w.class == s.Class {
 				claimed[wi] = true
 				assign[wi] = s
 				break
@@ -347,6 +355,44 @@ func (c *Cluster) dropQueue(w *worker) {
 	w.queue = nil
 }
 
+// SetWorkerDown crashes physical worker phys: queued requests are lost, the
+// in-flight batch (if any) is discarded when its completion timer fires, the
+// worker leaves the logical route table, and it stops counting toward class
+// capacity until SetWorkerUp. Idempotent.
+func (c *Cluster) SetWorkerDown(phys int) {
+	w := c.workers[phys]
+	if w.down {
+		return
+	}
+	w.down = true
+	w.gen++ // in-flight batch, if any, dies with the old incarnation
+	if w.spec != nil {
+		if c.logical[w.spec.ID] == w {
+			delete(c.logical, w.spec.ID)
+		}
+		w.spec = nil
+	}
+	w.busy = false
+	w.swapUntil = 0
+	c.DropsFault += int64(len(w.queue))
+	c.dropQueue(w)
+}
+
+// SetWorkerUp brings a crashed worker back as an idle server; the next
+// ApplyPlan may claim it again. Idempotent.
+func (c *Cluster) SetWorkerUp(phys int) {
+	c.workers[phys].down = false
+}
+
+// SetWorkerSpeedFactor scales a worker's execution speed relative to its
+// class's nominal speed (a straggler at factor 0.25 runs four times slower);
+// factor 1 restores full speed. A batch already executing keeps the latency
+// it started with.
+func (c *Cluster) SetWorkerSpeedFactor(phys int, factor float64) {
+	w := c.workers[phys]
+	w.speed = w.baseSpeed * factor
+}
+
 // InjectRequest admits one client query at the current time.
 func (c *Cluster) InjectRequest() {
 	now := c.Eng.Now()
@@ -405,7 +451,7 @@ func (c *Cluster) deliver(sub *subrequest, target core.WorkerID) {
 // that takes min(queue, maxBatch) requests immediately.
 func (c *Cluster) tryStart(w *worker) {
 	now := c.Eng.Now()
-	if w.busy || w.spec == nil || now < w.swapUntil || len(w.queue) == 0 {
+	if w.busy || w.down || w.spec == nil || now < w.swapUntil || len(w.queue) == 0 {
 		return
 	}
 	b := len(w.queue)
@@ -416,6 +462,7 @@ func (c *Cluster) tryStart(w *worker) {
 	w.queue = w.queue[b:]
 	w.busy = true
 	spec := w.spec // capture: reconfiguration must not affect a running batch
+	gen := w.gen   // capture: a crash mid-batch discards the results
 
 	v := &c.g.Tasks[spec.Task].Variants[spec.Variant]
 	lat := v.Latency(b) / w.speed
@@ -423,6 +470,15 @@ func (c *Cluster) tryStart(w *worker) {
 		lat *= 1 + c.Opts.ExecJitter*(2*c.rng.Float64()-1)
 	}
 	c.Eng.After(lat, func() {
+		if w.gen != gen {
+			// The worker crashed while this batch was executing: the
+			// results never materialize and the roots are lost.
+			c.DropsFault += int64(len(batch))
+			for _, sub := range batch {
+				c.abandon(sub)
+			}
+			return
+		}
 		w.busy = false
 		for _, sub := range batch {
 			c.completeAt(sub, w, spec)

@@ -79,6 +79,15 @@ type Tenant struct {
 	// Publish delivers a new plan and routing tables to the serving engine.
 	Publish func(plan *Plan, routes *Routes)
 
+	// Tier orders degradation across tenants. When the pool cannot cover
+	// every tenant's want — or, after an outage, not even every tenant's
+	// floor — higher tiers are satisfied first and lower tiers are cut
+	// first: floors are granted tier by tier, and leftover capacity flows
+	// to the highest unmet tier before any lower one sees a server. Equal
+	// tiers everywhere (the default, zero) reproduce the tier-free
+	// proportional split bit for bit.
+	Tier int
+
 	// CacheDisabled turns the tenant's plan cache off: every solve call
 	// reaches the planner. The escape hatch behind the public
 	// WithPlannerCache(false) option.
@@ -258,6 +267,75 @@ type MultiController struct {
 	counts  []int            // resolved per-class server counts
 	tenants []*Tenant
 	steps   int
+
+	// live, when non-nil, is the per-class count of servers currently up
+	// (ObserveCapacity): the capacity the outer loop splits instead of the
+	// static counts. capChanged forces the next unforced Step to
+	// re-allocate even if no tenant's demand moved, so the arbiter reacts
+	// to a crash or recovery within a round instead of waiting out the RM
+	// period.
+	live       []int
+	capChanged bool
+}
+
+// CapacityObserver is implemented by controllers that re-plan against live
+// (post-fault) capacity. The serving engines push per-class up-server counts
+// here whenever a fault event fires or recovers.
+type CapacityObserver interface {
+	ObserveCapacity(liveByClass []int)
+}
+
+// ObserveCapacity installs the pool's current per-class up-server counts
+// (clamped to the static class sizes) and schedules a re-allocation on the
+// next controller step. Observing full capacity again drops the override, so
+// fault-free operation stays on the legacy code path.
+func (m *MultiController) ObserveCapacity(liveByClass []int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	live := make([]int, len(m.counts))
+	same := true
+	for c := range live {
+		n := m.counts[c]
+		if c < len(liveByClass) {
+			n = liveByClass[c]
+		}
+		if n < 0 {
+			n = 0
+		}
+		if n > m.counts[c] {
+			n = m.counts[c]
+		}
+		live[c] = n
+		if n != m.counts[c] {
+			same = false
+		}
+	}
+	if same {
+		m.live = nil
+	} else {
+		m.live = live
+	}
+	m.capChanged = true
+}
+
+// LiveCounts returns the per-class server counts the arbiter currently plans
+// against: the static class sizes, reduced by any observed faults.
+func (m *MultiController) LiveCounts() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.live != nil {
+		return append([]int(nil), m.live...)
+	}
+	return append([]int(nil), m.counts...)
+}
+
+// liveCountsLocked is LiveCounts for callers already holding the lock; it
+// returns the internal slice, which callers must not mutate.
+func (m *MultiController) liveCountsLocked() []int {
+	if m.live != nil {
+		return m.live
+	}
+	return m.counts
 }
 
 // bucketRatio is the plan-cache quantization for this controller's tenants.
@@ -423,11 +501,15 @@ func (m *MultiController) Step(force bool) error {
 		thr = 0.2
 	}
 	if !force {
-		moved := false
+		// A capacity change (crash, outage, recovery) counts as movement:
+		// the arbiter re-plans against the live pool within a round.
+		moved := m.capChanged
 		for i, t := range m.tenants {
+			if moved {
+				break
+			}
 			if t.plan == nil || t.moved(demands[i], thr) {
 				moved = true
-				break
 			}
 		}
 		if !moved {
@@ -438,6 +520,7 @@ func (m *MultiController) Step(force bool) error {
 	if err := m.allocateLocked(demands); err != nil {
 		return err
 	}
+	m.capChanged = false
 	for i, t := range m.tenants {
 		t.planDmd = demands[i]
 		t.publish(demands[i])
@@ -455,14 +538,33 @@ func (m *MultiController) Step(force bool) error {
 // results are assembled in registration order.
 func (m *MultiController) allocateLocked(demands []float64) error {
 	ratio := m.bucketRatio()
-	nc := len(m.counts)
+	counts := m.liveCountsLocked()
+	nc := len(counts)
 
 	// Desire pass: unconstrained solves at the planner's full cluster size
-	// (= the whole pool).
+	// (= the whole pool). While a fault holds servers down the pass is
+	// capped at the live per-class counts instead: a desire solved against
+	// the healthy pool shape would keep wanting the dead class (leaving the
+	// surviving classes formally uncontended and the tier ordering idle)
+	// where the same demand re-aimed at the survivors makes the real
+	// contention — and the tier-ordered split of it — visible. With every
+	// server up desireCaps stays nil and the pass is bit-identical to the
+	// fault-free system.
+	var desireCaps []int
+	if m.live != nil {
+		desireCaps = counts
+	}
 	wants := make([][]int, len(m.tenants))
 	plans := make([]*Plan, len(m.tenants))
 	err := m.forEachTenant(func(i int, t *Tenant) error {
-		plan, err := t.solve(demands[i], nil, ratio)
+		if desireCaps != nil && sumInts(desireCaps) < len(t.Meta.Graph().Tasks) {
+			// The whole live pool is below this tenant's keep-warm
+			// minimum — no feasible plan exists for anyone; serve an
+			// idle plan until servers recover.
+			plans[i] = &Plan{}
+			return nil
+		}
+		plan, err := t.solve(demands[i], desireCaps, ratio)
 		if err != nil {
 			return fmt.Errorf("core: tenant %q allocation: %w", t.Name, err)
 		}
@@ -481,7 +583,7 @@ func (m *MultiController) allocateLocked(demands []float64) error {
 		for i := range wants {
 			total += wants[i][c]
 		}
-		if total > m.counts[c] {
+		if total > counts[c] {
 			contended = true
 		}
 	}
@@ -492,17 +594,37 @@ func (m *MultiController) allocateLocked(demands []float64) error {
 	}
 	if contended {
 		// Split every class across tenants: min(want, floor) plus a
-		// largest-remainder share of the class's leftover.
-		for c := 0; c < nc; c++ {
-			wantsC := make([]int, len(m.tenants))
-			floorsC := make([]int, len(m.tenants))
-			for i, t := range m.tenants {
-				wantsC[i] = wants[i][c]
-				floorsC[i] = t.floorByClass[c]
+		// largest-remainder share of the class's leftover. When tenants
+		// carry distinct tiers the split instead runs on tenant totals with
+		// strict tier precedence and packs classes contiguously, so a
+		// squeezed tier is left with one plannable block instead of
+		// fragments of every class.
+		tiers := make([]int, len(m.tenants))
+		distinct := false
+		for i, t := range m.tenants {
+			tiers[i] = t.Tier
+			if t.Tier != m.tenants[0].Tier {
+				distinct = true
 			}
-			grantsC := splitPool(m.counts[c], wantsC, floorsC)
-			for i := range m.tenants {
-				grants[i][c] = grantsC[i]
+		}
+		if distinct {
+			floors := make([][]int, len(m.tenants))
+			for i, t := range m.tenants {
+				floors[i] = t.floorByClass
+			}
+			grants = packTiered(counts, wants, floors, tiers)
+		} else {
+			for c := 0; c < nc; c++ {
+				wantsC := make([]int, len(m.tenants))
+				floorsC := make([]int, len(m.tenants))
+				for i, t := range m.tenants {
+					wantsC[i] = wants[i][c]
+					floorsC[i] = t.floorByClass[c]
+				}
+				grantsC := splitPoolTiered(counts[c], wantsC, floorsC, tiers)
+				for i := range m.tenants {
+					grants[i][c] = grantsC[i]
+				}
 			}
 		}
 		constrained := make([]bool, len(m.tenants))
@@ -513,15 +635,30 @@ func (m *MultiController) allocateLocked(demands []float64) error {
 				}
 			}
 		}
-		m.lendSlack(grants, constrained)
-		m.ensureWarm(grants, wants, constrained)
+		m.lendSlack(counts, grants, constrained)
+		m.ensureWarm(counts, grants, wants, constrained)
 		err := m.forEachTenant(func(i int, t *Tenant) error {
 			if !constrained[i] {
+				return nil
+			}
+			if sumInts(grants[i]) < len(t.Meta.Graph().Tasks) {
+				// An outage can shrink the pool below the joint keep-warm
+				// minimum; no feasible plan fits this grant. Publish an
+				// idle plan rather than keeping a stale one: a stale plan
+				// keeps routing onto capacity that is dead or granted to
+				// higher tiers, so its queries drop at dark queues, while
+				// an idle plan drives the tenant's admission rate to zero
+				// and its traffic sheds gracefully (429 + Retry-After)
+				// until recovery re-plans it.
+				plans[i] = &Plan{}
 				return nil
 			}
 			plan, err := t.solve(demands[i], grants[i], ratio)
 			if err != nil {
 				return fmt.Errorf("core: tenant %q capped allocation (%v servers): %w", t.Name, grants[i], err)
+			}
+			if distinct {
+				plan = t.dropFragment(plan, demands[i], grants[i], ratio)
 			}
 			plans[i] = plan
 			return nil
@@ -571,7 +708,7 @@ func (m *MultiController) classWants(plan *Plan) []int {
 // class capacity remains. Idle hardware is never stranded while some tenant
 // is being cut — the vector analogue of "an idle tenant's guarantee is lent
 // to whoever wants it".
-func (m *MultiController) lendSlack(grants [][]int, constrained []bool) {
+func (m *MultiController) lendSlack(counts []int, grants [][]int, constrained []bool) {
 	nHungry := 0
 	for _, c := range constrained {
 		if c {
@@ -581,8 +718,8 @@ func (m *MultiController) lendSlack(grants [][]int, constrained []bool) {
 	if nHungry == 0 {
 		return
 	}
-	for c := range m.counts {
-		free := m.counts[c]
+	for c := range counts {
+		free := counts[c]
 		for i := range grants {
 			free -= grants[i][c]
 		}
@@ -616,7 +753,7 @@ func (m *MultiController) lendSlack(grants [][]int, constrained []bool) {
 // its floors or its own keep-warm minimum; the floor validation in
 // NewMultiController guarantees that much capacity exists. Shrunk donors are
 // marked constrained so they re-solve inside their reduced vectors.
-func (m *MultiController) ensureWarm(grants [][]int, wants [][]int, constrained []bool) {
+func (m *MultiController) ensureWarm(counts []int, grants [][]int, wants [][]int, constrained []bool) {
 	warms := make([]int, len(m.tenants))
 	for i, t := range m.tenants {
 		warms[i] = len(t.Meta.Graph().Tasks)
@@ -627,7 +764,7 @@ func (m *MultiController) ensureWarm(grants [][]int, wants [][]int, constrained 
 			continue
 		}
 		constrained[i] = true
-		for c := 0; c < len(m.counts) && need > 0; c++ {
+		for c := 0; c < len(counts) && need > 0; c++ {
 			claim := t.floorByClass[c] - grants[i][c]
 			if claim > need {
 				claim = need
@@ -635,7 +772,7 @@ func (m *MultiController) ensureWarm(grants [][]int, wants [][]int, constrained 
 			if claim <= 0 {
 				continue
 			}
-			free := m.counts[c]
+			free := counts[c]
 			for j := range grants {
 				free -= grants[j][c]
 			}
@@ -781,6 +918,227 @@ func splitPool(pool int, wants, floors []int) []int {
 		}
 	}
 	return grants
+}
+
+// splitPoolTiered is splitPool with tier-ordered degradation. When every
+// tenant carries the same tier and the floors fit the pool (the fault-free
+// default), it delegates to splitPool so existing runs stay bit-identical.
+// Otherwise tiers take strict precedence: a higher tier's full want is
+// served before any lower tier sees a server, so under a shortage the
+// damage concentrates on the lowest tiers — they shed at the front door
+// while the high tiers keep their SLOs. Peers within one tier share by the
+// same floor-then-largest-remainder arithmetic as splitPool; when what
+// remains for a tier cannot even cover its floors, the remainder is
+// apportioned across those floors.
+func splitPoolTiered(pool int, wants, floors, tiers []int) []int {
+	uniform := true
+	for _, t := range tiers {
+		if t != tiers[0] {
+			uniform = false
+			break
+		}
+	}
+	fit := 0
+	for i := range wants {
+		f := wants[i]
+		if f > floors[i] {
+			f = floors[i]
+		}
+		fit += f
+	}
+	if uniform && fit <= pool {
+		return splitPool(pool, wants, floors)
+	}
+
+	levels := append([]int(nil), tiers...)
+	sort.Sort(sort.Reverse(sort.IntSlice(levels)))
+	levels = dedupInts(levels)
+
+	grants := make([]int, len(wants))
+	left := pool
+	for _, lv := range levels {
+		if left <= 0 {
+			break
+		}
+		var idxs, wantsL, floorsL []int
+		for i := range wants {
+			if tiers[i] != lv {
+				continue
+			}
+			idxs = append(idxs, i)
+			wantsL = append(wantsL, wants[i])
+			floorsL = append(floorsL, floors[i])
+		}
+		var grantsL []int
+		switch {
+		case sumInts(wantsL) <= left:
+			grantsL = wantsL
+		default:
+			fitL := 0
+			mins := make([]int, len(wantsL))
+			for k := range wantsL {
+				mins[k] = wantsL[k]
+				if mins[k] > floorsL[k] {
+					mins[k] = floorsL[k]
+				}
+				fitL += mins[k]
+			}
+			if fitL >= left {
+				grantsL = apportion(left, mins)
+			} else {
+				grantsL = splitPool(left, wantsL, floorsL)
+			}
+		}
+		for k, g := range grantsL {
+			grants[idxs[k]] = g
+		}
+		left -= sumInts(grantsL)
+	}
+	return grants
+}
+
+// dropFragment retries an under-serving capped solve without the grant's
+// smallest class. The branch-and-bound planner truncates on mixed caps like
+// [1,6] — a sliver of one class next to a block of another — and the
+// truncated search can land on a plan worth half the rate of simply planning
+// the block alone ([0,6]). When the solve left demand unserved and the grant
+// spans several classes, one extra (cached) solve with the smallest class
+// zeroed checks that; the better plan wins, and the orphaned sliver stays
+// granted but idle.
+func (t *Tenant) dropFragment(plan *Plan, demand float64, caps []int, ratio float64) *Plan {
+	if plan.ServedFraction >= 0.999 {
+		return plan
+	}
+	small, nonzero := -1, 0
+	for c, n := range caps {
+		if n <= 0 {
+			continue
+		}
+		nonzero++
+		if small < 0 || n < caps[small] {
+			small = c
+		}
+	}
+	if nonzero < 2 {
+		return plan
+	}
+	alt := append([]int(nil), caps...)
+	alt[small] = 0
+	altPlan, err := t.solve(demand, alt, ratio)
+	if err != nil || altPlan.ServedFraction <= plan.ServedFraction {
+		return plan
+	}
+	return altPlan
+}
+
+// packTiered grants servers across tenants AND classes when tiers are
+// distinct. Per-class tiered splits can strand a low tier with small slivers
+// of several classes, and the planner cannot compose a useful plan out of
+// fragments (a grant of 5+2 across two classes plans barely half the rate of
+// 7 in one class). So the strict split runs on tenant totals — a higher
+// tier's whole demand is served before a lower tier sees a server — and the
+// totals are then laid out contiguously along the class list, largest live
+// class first: the top tier fills from the biggest (most plannable) class,
+// each following tenant starts where the previous one stopped, and at most
+// one class boundary lands inside any tenant's grant.
+func packTiered(counts []int, wants [][]int, floors [][]int, tiers []int) [][]int {
+	totalWants := make([]int, len(wants))
+	totalFloors := make([]int, len(wants))
+	for i := range wants {
+		totalWants[i] = sumInts(wants[i])
+		totalFloors[i] = sumInts(floors[i])
+	}
+	totals := splitPoolTiered(sumInts(counts), totalWants, totalFloors, tiers)
+
+	order := make([]int, len(counts))
+	for c := range order {
+		order[c] = c
+	}
+	sort.SliceStable(order, func(a, b int) bool { return counts[order[a]] > counts[order[b]] })
+
+	levels := append([]int(nil), tiers...)
+	sort.Sort(sort.Reverse(sort.IntSlice(levels)))
+	levels = dedupInts(levels)
+
+	remaining := append([]int(nil), counts...)
+	grants := make([][]int, len(wants))
+	for i := range grants {
+		grants[i] = make([]int, len(counts))
+	}
+	for _, lv := range levels {
+		for i := range wants {
+			if tiers[i] != lv {
+				continue
+			}
+			need := totals[i]
+			for _, c := range order {
+				if need <= 0 {
+					break
+				}
+				take := min(need, remaining[c])
+				grants[i][c] = take
+				remaining[c] -= take
+				need -= take
+			}
+		}
+	}
+	return grants
+}
+
+// apportion distributes up to total units across recipients proportionally
+// to their weights (never exceeding a recipient's weight), with the same
+// largest-remainder rounding and tie-breaking as splitPool.
+func apportion(total int, weights []int) []int {
+	out := make([]int, len(weights))
+	sumW := sumInts(weights)
+	if sumW == 0 || total <= 0 {
+		return out
+	}
+	if total >= sumW {
+		copy(out, weights)
+		return out
+	}
+	type frac struct {
+		idx int
+		rem float64
+	}
+	fracs := make([]frac, 0, len(weights))
+	used := 0
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		quota := float64(total) * float64(w) / float64(sumW)
+		whole := int(math.Floor(quota))
+		if whole > w {
+			whole = w
+		}
+		out[i] = whole
+		used += whole
+		fracs = append(fracs, frac{idx: i, rem: quota - float64(whole)})
+	}
+	sort.SliceStable(fracs, func(a, b int) bool { return fracs[a].rem > fracs[b].rem })
+	for _, f := range fracs {
+		if used >= total {
+			break
+		}
+		if out[f.idx] < weights[f.idx] {
+			out[f.idx]++
+			used++
+		}
+	}
+	return out
+}
+
+// dedupInts collapses runs of equal values in a sorted slice.
+func dedupInts(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
 }
 
 // publish rebuilds one tenant's routing tables for the given demand and

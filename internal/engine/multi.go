@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"loki/internal/cluster"
 	"loki/internal/core"
+	"loki/internal/fault"
 	"loki/internal/ingress"
 	"loki/internal/live"
 	"loki/internal/metrics"
@@ -36,6 +38,11 @@ type TenantConfig struct {
 	// Stats.Shed and the collector's shed series, still part of the observed
 	// demand the planner sees, but never queued.
 	Admission *ingress.Admission
+
+	// Tier is the tenant's service tier, echoed on every shed decision
+	// (ingress.ShedError.Tier) so 429 responses carry which class of
+	// traffic was refused.
+	Tier int
 }
 
 // MultiConfig assembles a multi-tenant backend: the shared pool-level knobs
@@ -61,6 +68,19 @@ type MultiConfig struct {
 	// TimeScale compresses the wall-clock backend's real time; ignored by
 	// the simulator.
 	TimeScale float64
+
+	// Faults, when non-nil, is the fault schedule injected into the shared
+	// pool. Event times are anchored to the start of the first FeedAll (the
+	// simulator schedules them as virtual-time events, the wall-clock
+	// backend as scaled timers from Start). Every fault updates each
+	// tenant's MetadataStore live counts and, when the controller
+	// implements core.CapacityObserver, triggers a re-plan within a round.
+	Faults *fault.Schedule
+
+	// OnFault, when non-nil, observes every fault and recovery event with
+	// the backend's time and a human-readable description (the lokiserve
+	// status line).
+	OnFault func(timeSec float64, desc string)
 
 	Tenants []TenantConfig
 }
@@ -162,6 +182,12 @@ type multiSimulated struct {
 
 	shed      []int64 // cumulative per-tenant shed counts
 	shedFlush []int64 // shed since the last housekeeping flush (offered demand)
+
+	// Fault injection: the pool-level fault state, the compiled timeline,
+	// and whether FeedAll has armed it (events anchor to the first feed).
+	fp          *faultPool
+	timeline    []fault.Timed
+	faultsArmed bool
 }
 
 func newMultiSimulated(cfg MultiConfig) (MultiEngine, error) {
@@ -188,7 +214,76 @@ func newMultiSimulated(cfg MultiConfig) (MultiEngine, error) {
 	}
 	m.shed = make([]int64, len(cfg.Tenants))
 	m.shedFlush = make([]int64, len(cfg.Tenants))
+	if cfg.Faults != nil {
+		m.fp = newFaultPool(cfg.Servers, cfg.Classes)
+		tl, err := compileFaults(cfg.Faults, m.fp)
+		if err != nil {
+			return nil, err
+		}
+		m.timeline = tl
+	}
 	return m, nil
+}
+
+// Fail, Recover, Slow, and Restore implement fault.Target on the shared
+// pool: victims are chosen once at the pool level and applied to every
+// tenant's cluster (each models the same physical machines), then the live
+// per-class counts are pushed to the metadata stores and the controller.
+func (m *multiSimulated) Fail(class, n int) []int {
+	phys := m.fp.pickFail(class, n)
+	for _, cl := range m.cls {
+		for _, p := range phys {
+			cl.SetWorkerDown(p)
+		}
+	}
+	m.publishLive()
+	return phys
+}
+
+func (m *multiSimulated) Recover(phys []int) {
+	m.fp.recover(phys)
+	for _, cl := range m.cls {
+		for _, p := range phys {
+			cl.SetWorkerUp(p)
+		}
+	}
+	m.publishLive()
+}
+
+func (m *multiSimulated) Slow(class, n int, factor float64) []int {
+	phys := m.fp.pickSlow(class, n)
+	for _, cl := range m.cls {
+		for _, p := range phys {
+			cl.SetWorkerSpeedFactor(p, factor)
+		}
+	}
+	return phys
+}
+
+func (m *multiSimulated) Restore(phys []int) {
+	m.fp.restore(phys)
+	for _, cl := range m.cls {
+		for _, p := range phys {
+			cl.SetWorkerSpeedFactor(p, 1)
+		}
+	}
+}
+
+// publishLive pushes the pool's per-class up counts to every tenant's
+// MetadataStore (Snapshot reports them) and to the controller when it
+// re-plans against live capacity.
+func (m *multiSimulated) publishLive() {
+	live := m.fp.live()
+	var forMeta []int
+	if m.fp.anyDown() {
+		forMeta = live
+	}
+	for i := range m.cfg.Tenants {
+		m.cfg.Tenants[i].Meta.SetLiveClassCounts(forMeta)
+	}
+	if co, ok := m.ctrl.(core.CapacityObserver); ok {
+		co.ObserveCapacity(live)
+	}
 }
 
 // admit consults tenant i's admission controller at the current virtual
@@ -238,7 +333,7 @@ func (m *multiSimulated) Submit(tenant int) error {
 		return ErrStopped
 	}
 	if ok, retry := m.admit(tenant); !ok {
-		return &ingress.ShedError{RetryAfterSec: retry}
+		return &ingress.ShedError{RetryAfterSec: retry, Tier: m.cfg.Tenants[tenant].Tier}
 	}
 	m.cls[tenant].InjectRequest()
 	return nil
@@ -274,6 +369,21 @@ func (m *multiSimulated) FeedAll(traces []*trace.Trace) error {
 		return errors.New("engine: FeedAll needs at least one trace")
 	}
 	end := start + dur
+
+	// Fault events: anchored to the first feed's start. Recoveries landing
+	// beyond the trace end still fire during the drain (RunAll).
+	if len(m.timeline) > 0 && !m.faultsArmed {
+		m.faultsArmed = true
+		for _, tc := range m.timeline {
+			tc := tc
+			m.eng.At(start+tc.At, func() {
+				desc := tc.Fire(m)
+				if m.cfg.OnFault != nil {
+					m.cfg.OnFault(m.eng.Now(), desc)
+				}
+			})
+		}
+	}
 
 	// Arrivals: per tenant, lazily chained Poisson events on the shared
 	// clock keep the event heap small.
@@ -400,6 +510,14 @@ type multiWallclock struct {
 
 	mu      sync.Mutex
 	started bool
+
+	// Fault injection: pool-level fault state, compiled timeline, the
+	// controller observing capacity, and the injector goroutine lifecycle.
+	fp        *faultPool
+	timeline  []fault.Timed
+	ctrl      core.Control
+	faultDone chan struct{}
+	faultWG   sync.WaitGroup
 }
 
 func newMultiWallclock(cfg MultiConfig) (MultiEngine, error) {
@@ -420,13 +538,110 @@ func newMultiWallclock(cfg MultiConfig) (MultiEngine, error) {
 			QueueFactor:   cfg.QueueFactor,
 			OnTaskDemand:  t.OnTaskDemand,
 			Admission:     t.Admission,
+			Tier:          t.Tier,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("engine: tenant %d: %w", i, err)
 		}
 		m.es = append(m.es, e)
 	}
+	if cfg.Faults != nil {
+		m.fp = newFaultPool(cfg.Servers, cfg.Classes)
+		tl, err := compileFaults(cfg.Faults, m.fp)
+		if err != nil {
+			return nil, err
+		}
+		m.timeline = tl
+	}
 	return m, nil
+}
+
+// Fail, Recover, Slow, and Restore implement fault.Target — see the
+// simulated twin for the semantics. They are only called from the single
+// fault-injector goroutine, so the pool state needs no extra locking; the
+// per-engine mutations take each engine's own lock.
+func (m *multiWallclock) Fail(class, n int) []int {
+	phys := m.fp.pickFail(class, n)
+	for _, e := range m.es {
+		for _, p := range phys {
+			e.SetWorkerDown(p)
+		}
+	}
+	m.publishLive()
+	return phys
+}
+
+func (m *multiWallclock) Recover(phys []int) {
+	m.fp.recover(phys)
+	for _, e := range m.es {
+		for _, p := range phys {
+			e.SetWorkerUp(p)
+		}
+	}
+	m.publishLive()
+}
+
+func (m *multiWallclock) Slow(class, n int, factor float64) []int {
+	phys := m.fp.pickSlow(class, n)
+	for _, e := range m.es {
+		for _, p := range phys {
+			e.SetWorkerSpeedFactor(p, factor)
+		}
+	}
+	return phys
+}
+
+func (m *multiWallclock) Restore(phys []int) {
+	m.fp.restore(phys)
+	for _, e := range m.es {
+		for _, p := range phys {
+			e.SetWorkerSpeedFactor(p, 1)
+		}
+	}
+}
+
+func (m *multiWallclock) publishLive() {
+	live := m.fp.live()
+	var forMeta []int
+	if m.fp.anyDown() {
+		forMeta = live
+	}
+	for i := range m.cfg.Tenants {
+		m.cfg.Tenants[i].Meta.SetLiveClassCounts(forMeta)
+	}
+	if co, ok := m.ctrl.(core.CapacityObserver); ok {
+		co.ObserveCapacity(live)
+	}
+}
+
+// runFaults fires the compiled timeline on scaled wall time until Stop.
+func (m *multiWallclock) runFaults() {
+	defer m.faultWG.Done()
+	ts := m.cfg.TimeScale
+	if ts == 0 {
+		ts = 1.0
+	}
+	begin := time.Now()
+	for _, tc := range m.timeline {
+		wait := time.Until(begin.Add(time.Duration(tc.At * ts * float64(time.Second))))
+		if wait > 0 {
+			select {
+			case <-m.faultDone:
+				return
+			case <-time.After(wait):
+			}
+		} else {
+			select {
+			case <-m.faultDone:
+				return
+			default:
+			}
+		}
+		desc := tc.Fire(m)
+		if m.cfg.OnFault != nil {
+			m.cfg.OnFault(m.es[0].Now(), desc)
+		}
+	}
 }
 
 func (m *multiWallclock) ApplyPlan(tenant int, plan *core.Plan, routes *core.Routes) {
@@ -452,6 +667,12 @@ func (m *multiWallclock) Start(ctrl core.Control) error {
 		}
 	}
 	m.started = true
+	if len(m.timeline) > 0 {
+		m.ctrl = ctrl
+		m.faultDone = make(chan struct{})
+		m.faultWG.Add(1)
+		go m.runFaults()
+	}
 	return nil
 }
 
@@ -489,6 +710,13 @@ func (m *multiWallclock) FeedAll(traces []*trace.Trace) error {
 }
 
 func (m *multiWallclock) Stop() error {
+	m.mu.Lock()
+	if m.faultDone != nil {
+		close(m.faultDone)
+		m.faultDone = nil
+	}
+	m.mu.Unlock()
+	m.faultWG.Wait()
 	var errs []error
 	for _, e := range m.es {
 		errs = append(errs, e.Stop())

@@ -1,0 +1,370 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"loki/internal/core"
+	"loki/internal/engine"
+	"loki/internal/fault"
+	"loki/internal/ingress"
+	"loki/internal/metrics"
+	"loki/internal/profiles"
+	"loki/internal/trace"
+)
+
+// ChaosConfig describes the fault-injection suite: two pipelines — a
+// high-tier "gold" and a low-tier "free" — share a reserved+spot pool at
+// full load while the spot class suffers a mid-run fault (a partial crash,
+// a whole-class outage, or a straggler slowdown) with a timed recovery.
+// Every fault runs twice, with tiers and without, and each arm is scored in
+// three windows (before, during, after the fault) against an
+// instantly-replanning oracle: the during-oracle serves the same load with
+// the fault active from the start (no stale state to converge from), the
+// after-oracle is a fault-free run.
+type ChaosConfig struct {
+	// Reserved and Spot size the two hardware classes (defaults 12 and 8).
+	Reserved, Spot int
+	SLOSec         float64
+	Seed           int64
+	// QPS is the steady per-pipeline offered load (default 240 — the
+	// two pipelines together run the healthy pool near capacity, so the
+	// spot outage forces a real shortfall).
+	QPS float64
+	// DurSec is the run length; FaultAtSec and FaultDurSec place the fault
+	// (defaults 120, 40, 40).
+	DurSec, FaultAtSec, FaultDurSec float64
+	// CrashN and StraggleN/StraggleFactor shape the partial-fault cells.
+	CrashN, StraggleN int
+	StraggleFactor    float64
+	// Faults selects which fault kinds to run (subset of "crash",
+	// "outage", "straggle"; empty = all three). The benchmark canary uses
+	// it to run the headline outage cell alone.
+	Faults []string
+	// Quick shrinks the run for smoke passes.
+	Quick bool
+}
+
+func (c *ChaosConfig) defaults() {
+	if c.Reserved == 0 {
+		c.Reserved = 12
+	}
+	if c.Spot == 0 {
+		c.Spot = 8
+	}
+	if c.SLOSec == 0 {
+		c.SLOSec = 0.250
+	}
+	if c.QPS == 0 {
+		c.QPS = 240
+	}
+	if c.DurSec == 0 {
+		c.DurSec = 120
+	}
+	if c.FaultAtSec == 0 {
+		c.FaultAtSec = 40
+	}
+	if c.FaultDurSec == 0 {
+		c.FaultDurSec = 40
+	}
+	if c.CrashN == 0 {
+		c.CrashN = 2
+	}
+	if c.StraggleN == 0 {
+		c.StraggleN = 4
+	}
+	if c.StraggleFactor == 0 {
+		c.StraggleFactor = 0.25
+	}
+	if c.Quick {
+		c.DurSec, c.FaultAtSec, c.FaultDurSec = 60, 20, 20
+	}
+}
+
+// windows returns the three scoring windows: before starts after warmup,
+// during leaves a short grace for detection and re-planning, after starts
+// one adaptation round past recovery (the oracle-convergence acceptance is
+// "within one round", so the window begins where that promise ends).
+func (c *ChaosConfig) windows() (b0, b1, d0, d1, a0, a1 float64) {
+	grace := 5.0
+	round := 10.0
+	if c.Quick {
+		grace, round = 4, 10
+	}
+	return 10, c.FaultAtSec,
+		c.FaultAtSec + grace, c.FaultAtSec + c.FaultDurSec,
+		c.FaultAtSec + c.FaultDurSec + round, c.DurSec
+}
+
+// ChaosWindow is one tenant's score over one window. Attainment is the SLO
+// attainment of the admitted population; GoodputRatio divides on-time
+// completions by the offered load (admitted + shed), so front-door shedding
+// — invisible to Attainment, since shed requests never arrive — still
+// counts as degradation; ShedPct is the shed share of offered load.
+type ChaosWindow struct {
+	Attainment   float64
+	GoodputRatio float64
+	ShedPct      float64
+}
+
+// ChaosTenant is one pipeline's outcome across the three windows of one
+// cell, alongside the oracle's score for the during and after windows.
+type ChaosTenant struct {
+	Name                      string
+	Tier                      int
+	Before, During, After     ChaosWindow
+	OracleDuring, OracleAfter ChaosWindow
+	Summary                   metrics.Summary
+}
+
+// ChaosCell is one grid cell: a fault kind served with or without tiers.
+type ChaosCell struct {
+	Fault   string
+	Tiered  bool
+	Events  []string
+	Tenants []ChaosTenant
+}
+
+// ChaosResult is the full grid.
+type ChaosResult struct {
+	Cells []ChaosCell
+}
+
+// chaosFaults returns the cell's fault schedule. permanent anchors the
+// fault at the start of the run with no recovery — the oracle arm, whose
+// control plane never holds state from a healthier pool.
+func (c *ChaosConfig) chaosFaults(kind string, permanent bool) *fault.Schedule {
+	at, rec := c.FaultAtSec, c.FaultDurSec
+	if permanent {
+		at, rec = 0, 0
+	}
+	ev := fault.Event{At: at, Class: "spot", RecoverAfter: rec}
+	switch kind {
+	case "crash":
+		ev.Kind = fault.Crash
+		ev.N = c.CrashN
+	case "outage":
+		ev.Kind = fault.Outage
+	case "straggle":
+		ev.Kind = fault.Straggler
+		ev.N = c.StraggleN
+		ev.Factor = c.StraggleFactor
+	}
+	return &fault.Schedule{Events: []fault.Event{ev}}
+}
+
+// chaosOnGrants, when set by a test, observes every joint allocation of a
+// chaos run (step, per-tenant granted-server totals).
+var chaosOnGrants func(step int, totals []int)
+
+// chaosRun serves the two-pipeline scenario once on the simulator and
+// returns each tenant's collector series plus the fault events observed.
+func chaosRun(cfg ChaosConfig, tiered bool, sched *fault.Schedule) ([]*metrics.Collector, []metrics.Summary, []string, error) {
+	names := []string{"gold", "free"}
+	tiers := []int{0, 0}
+	if tiered {
+		tiers[0] = 1
+	}
+	classes := []profiles.Class{
+		{Name: "res", Count: cfg.Reserved, Speed: 1.0},
+		{Name: "spot", Count: cfg.Spot, Speed: 1.0},
+	}
+	pool := cfg.Reserved + cfg.Spot
+
+	var events []string
+	prof := &profiles.Profiler{Seed: cfg.Seed}
+	mcfg := engine.MultiConfig{
+		Servers:       pool,
+		Classes:       classes,
+		NetLatencySec: 0.002,
+		Seed:          cfg.Seed,
+		Faults:        sched,
+		OnFault: func(timeSec float64, desc string) {
+			events = append(events, fmt.Sprintf("t=%.0fs %s", timeSec, desc))
+		},
+	}
+	var tenants []*core.Tenant
+	var cols []*metrics.Collector
+	var adms []*ingress.Admission
+	for i, name := range names {
+		g := profiles.TrafficTree()
+		meta := core.NewMetadataStoreHetero(g, classes,
+			prof.ProfileGraphClasses(g, profiles.Batches, classes), cfg.SLOSec, profiles.Batches)
+		alloc, err := core.NewAllocator(meta, core.AllocatorOptions{
+			Servers:        pool,
+			NetLatencySec:  0.002,
+			KeepWarm:       true,
+			Headroom:       0.30,
+			SolveTimeLimit: 500 * time.Millisecond,
+		})
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("experiments: chaos tenant %q: %w", name, err)
+		}
+		// One-second buckets: the windows are scored at fault granularity.
+		col := metrics.NewCollector(1, pool)
+		cols = append(cols, col)
+		adm := ingress.NewAdmission(ingress.Config{
+			SLOSec:            cfg.SLOSec,
+			TargetUtilization: 1 / 1.30,
+		})
+		adms = append(adms, adm)
+		mcfg.Tenants = append(mcfg.Tenants, engine.TenantConfig{
+			Meta: meta, Collector: col, SLOSec: cfg.SLOSec,
+			Tier: tiers[i], Admission: adm,
+		})
+		tenants = append(tenants, &core.Tenant{
+			Name: name, Tier: tiers[i], Meta: meta, Alloc: alloc,
+			RouteHeadroom: 0.30,
+		})
+	}
+
+	eng, err := engine.NewMulti(engine.KindSimulated, mcfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for i, t := range tenants {
+		i, adm := i, adms[i]
+		t.Publish = func(plan *core.Plan, routes *core.Routes) {
+			eng.ApplyPlan(i, plan, routes)
+			adm.SetRate(eng.Now(), ingress.FrontendRate(routes))
+		}
+	}
+	ctrl, err := core.NewMultiController(pool, tenants)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ctrl.OnGrants = chaosOnGrants
+
+	steps := int(cfg.DurSec / 4)
+	tr := trace.Ramp(cfg.QPS, cfg.QPS, steps, 4)
+	for _, t := range tenants {
+		t.Meta.ObserveDemand(cfg.QPS)
+	}
+	if err := ctrl.Step(true); err != nil {
+		return nil, nil, nil, err
+	}
+	if err := eng.Start(ctrl); err != nil {
+		return nil, nil, nil, err
+	}
+	if err := eng.FeedAll([]*trace.Trace{tr, tr}); err != nil {
+		return nil, nil, nil, err
+	}
+	if err := eng.Stop(); err != nil {
+		return nil, nil, nil, err
+	}
+	sums := make([]metrics.Summary, len(cols))
+	for i, col := range cols {
+		sums[i] = col.Summarize()
+	}
+	return cols, sums, events, nil
+}
+
+// windowScore aggregates one window of a series into attainment, goodput
+// ratio, and shed share.
+func windowScore(series []metrics.Point, start, end float64) ChaosWindow {
+	arr, viol, shed := 0, 0, 0
+	for _, p := range series {
+		if p.TimeSec < start || p.TimeSec >= end {
+			continue
+		}
+		arr += p.Arrivals
+		viol += p.Violations
+		shed += p.Shed
+	}
+	w := ChaosWindow{Attainment: 1, GoodputRatio: 1}
+	offered := arr + shed
+	if arr > 0 {
+		w.Attainment = 1 - float64(viol)/float64(arr)
+	}
+	if offered > 0 {
+		w.GoodputRatio = float64(arr-viol) / float64(offered)
+		w.ShedPct = 100 * float64(shed) / float64(offered)
+	}
+	return w
+}
+
+// Chaos runs the full fault × tiering grid on the simulator. Every cell
+// serves the same full-load scenario; its oracle arms share the cell's
+// seed, so main-vs-oracle gaps measure adaptation lag, not workload noise.
+func Chaos(cfg ChaosConfig) (*ChaosResult, error) {
+	cfg.defaults()
+	b0, b1, d0, d1, a0, a1 := cfg.windows()
+	res := &ChaosResult{}
+	kinds := cfg.Faults
+	if len(kinds) == 0 {
+		kinds = []string{"crash", "outage", "straggle"}
+	}
+	for _, kind := range kinds {
+		for _, tiered := range []bool{true, false} {
+			cols, sums, events, err := chaosRun(cfg, tiered, cfg.chaosFaults(kind, false))
+			if err != nil {
+				return nil, err
+			}
+			// During-oracle: the same fault, active from the start and
+			// never recovered — a control plane with nothing stale to
+			// unlearn in the during window.
+			oCols, _, _, err := chaosRun(cfg, tiered, cfg.chaosFaults(kind, true))
+			if err != nil {
+				return nil, err
+			}
+			// After-oracle: no fault at all, scored in the after window.
+			cCols, _, _, err := chaosRun(cfg, tiered, nil)
+			if err != nil {
+				return nil, err
+			}
+			cell := ChaosCell{Fault: kind, Tiered: tiered, Events: events}
+			tiers := []int{0, 0}
+			if tiered {
+				tiers[0] = 1
+			}
+			for i, name := range []string{"gold", "free"} {
+				s := cols[i].Series()
+				cell.Tenants = append(cell.Tenants, ChaosTenant{
+					Name:         name,
+					Tier:         tiers[i],
+					Before:       windowScore(s, b0, b1),
+					During:       windowScore(s, d0, d1),
+					After:        windowScore(s, a0, a1),
+					OracleDuring: windowScore(oCols[i].Series(), d0, d1),
+					OracleAfter:  windowScore(cCols[i].Series(), a0, a1),
+					Summary:      sums[i],
+				})
+			}
+			res.Cells = append(res.Cells, cell)
+		}
+	}
+	return res, nil
+}
+
+// FormatChaos renders the grid: one row per (fault, arm, tenant) with the
+// three windows' goodput ratio (and attainment), the oracle's during/after
+// scores, and the recovery gap.
+func FormatChaos(r *ChaosResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-9s %-9s %-5s %-5s %8s %8s %8s %9s %9s %8s %8s\n",
+		"fault", "arm", "tenant", "tier", "before", "during", "after", "oracle-d", "oracle-a", "shed%%d", "att-d")
+	for _, c := range r.Cells {
+		arm := "untiered"
+		if c.Tiered {
+			arm = "tiered"
+		}
+		for _, t := range c.Tenants {
+			fmt.Fprintf(&b, "%-9s %-9s %-5s %5d %8.4f %8.4f %8.4f %9.4f %9.4f %8.1f %8.4f\n",
+				c.Fault, arm, t.Name, t.Tier,
+				t.Before.GoodputRatio, t.During.GoodputRatio, t.After.GoodputRatio,
+				t.OracleDuring.GoodputRatio, t.OracleAfter.GoodputRatio,
+				t.During.ShedPct, t.During.Attainment)
+		}
+	}
+	b.WriteString("\ngoodput ratio = on-time completions / offered load (admitted + shed);\n")
+	b.WriteString("att-d = SLO attainment of the admitted population during the fault;\n")
+	b.WriteString("oracle-d reruns the cell with the fault active from t=0 (instant replan),\n")
+	b.WriteString("oracle-a is a fault-free run scored in the after window.\n")
+	for _, c := range r.Cells {
+		if c.Tiered {
+			fmt.Fprintf(&b, "%s events: %s\n", c.Fault, strings.Join(c.Events, "; "))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestChaosGrantProbe is a diagnostic, not a regression test: it replays the
+// chaos grid's headline outage cell in both arms and prints the per-step
+// grant totals, the three window scores, and the per-second series around
+// the fault, so tier engagement and shedding behaviour are visible. It only
+// runs when LOKI_PROBE is set:
+//
+//	LOKI_PROBE=1 go test ./internal/experiments -run ChaosGrantProbe -v
+func TestChaosGrantProbe(t *testing.T) {
+	if os.Getenv("LOKI_PROBE") == "" {
+		t.Skip("diagnostic probe; set LOKI_PROBE=1 to run")
+	}
+	for _, tiered := range []bool{true, false} {
+		cfg := ChaosConfig{Quick: true, Seed: 11}
+		cfg.defaults()
+		var lines []string
+		chaosOnGrants = func(step int, totals []int) {
+			lines = append(lines, fmt.Sprintf("step=%d totals=%v", step, totals))
+		}
+		cols, sums, events, err := chaosRun(cfg, tiered, cfg.chaosFaults("outage", false))
+		chaosOnGrants = nil
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("tiered=%v events=%v", tiered, events)
+		for _, l := range lines {
+			t.Logf("  %s", l)
+		}
+		b0, b1, d0, d1, a0, a1 := cfg.windows()
+		for i, s := range sums {
+			series := cols[i].Series()
+			bw := windowScore(series, b0, b1)
+			dw := windowScore(series, d0, d1)
+			aw := windowScore(series, a0, a1)
+			t.Logf("  tenant=%d before=%.4f during=%.4f(shed%%=%.1f) after=%.4f | viol=%.4f shed=%d late=%d dropped=%d completed=%d",
+				i, bw.Attainment, dw.Attainment, dw.ShedPct, aw.Attainment,
+				s.ViolationRatio, s.Shed, s.Late, s.Dropped, s.Completed)
+			for _, p := range series {
+				if p.TimeSec >= cfg.FaultAtSec-5 && p.TimeSec < cfg.FaultAtSec+cfg.FaultDurSec+10 {
+					t.Logf("    t=%2.0f arr=%3d shed=%3d viol=%3d", p.TimeSec, p.Arrivals, p.Shed, p.Violations)
+				}
+			}
+		}
+	}
+}

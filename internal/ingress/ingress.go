@@ -38,6 +38,13 @@ type ShedError struct {
 	// be available: the token bucket's refill time for rate sheds, a
 	// queue-drain allowance for saturation sheds.
 	RetryAfterSec float64
+
+	// Tier is the service tier of the pipeline whose traffic was refused
+	// (zero for untiered pipelines). Under contention the arbiter grants
+	// low tiers less capacity, so their admission rates fall first and
+	// their traffic sheds first; the tier on the error lets 429 responses
+	// carry that decision to the client.
+	Tier int
 }
 
 // Error renders the shed decision with its retry hint.

@@ -19,8 +19,14 @@ import (
 type LoadResult struct {
 	Sent     int64 // requests attempted
 	Accepted int64 // 202: admitted into the serving system
-	Shed     int64 // 429: refused by admission control
+	Shed     int64 // 429: refused by admission control (after retries, if any)
 	Errors   int64 // transport failures or unexpected statuses
+	// Retries counts re-sends after a 429, honoring its Retry-After hint
+	// (zero unless LoadGen.Retries is set).
+	Retries int64
+	// RetriedOK counts requests that were shed at least once and then
+	// accepted on a retry — the work Retry-After hints salvaged.
+	RetriedOK int64
 	// RetryAfterMeanSec averages the Retry-After hints on shed responses
 	// (zero when nothing was shed).
 	RetryAfterMeanSec float64
@@ -41,6 +47,12 @@ type LoadGen struct {
 	Pipeline string
 	// Conns bounds concurrent in-flight requests (default 64).
 	Conns int
+	// Retries is the per-request retry budget on 429 responses. Each retry
+	// sleeps for the server's Retry-After hint scaled by a deterministic
+	// jitter in [0.75, 1.25) before re-sending; the request holds its
+	// connection slot throughout, so retries self-limit under overload. A
+	// request counts as Shed only after the budget is exhausted.
+	Retries int
 	// Client overrides the pooled default (tests inject
 	// httptest.Server.Client()).
 	Client *http.Client
@@ -92,36 +104,61 @@ loop:
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			body := bytes.NewReader([]byte(fmt.Sprintf(`{"id":%d}`, i)))
-			req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, body)
-			if err != nil {
-				atomic.AddInt64(&res.Errors, 1)
-				return
-			}
-			req.Header.Set("Content-Type", "application/json")
-			resp, err := client.Do(req)
-			if err != nil {
-				atomic.AddInt64(&res.Errors, 1)
-				return
-			}
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			switch resp.StatusCode {
-			case http.StatusAccepted:
-				atomic.AddInt64(&res.Accepted, 1)
-			case http.StatusTooManyRequests:
-				atomic.AddInt64(&res.Shed, 1)
-				var ra float64
-				fmt.Sscanf(resp.Header.Get("Retry-After"), "%f", &ra)
-				retrySum.Add(int64(ra * 1e6))
-			default:
-				atomic.AddInt64(&res.Errors, 1)
+			payload := []byte(fmt.Sprintf(`{"id":%d}`, i))
+			for attempt := 0; ; attempt++ {
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
+				if err != nil {
+					atomic.AddInt64(&res.Errors, 1)
+					return
+				}
+				req.Header.Set("Content-Type", "application/json")
+				resp, err := client.Do(req)
+				if err != nil {
+					atomic.AddInt64(&res.Errors, 1)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusAccepted:
+					atomic.AddInt64(&res.Accepted, 1)
+					if attempt > 0 {
+						atomic.AddInt64(&res.RetriedOK, 1)
+					}
+					return
+				case http.StatusTooManyRequests:
+					var ra float64
+					fmt.Sscanf(resp.Header.Get("Retry-After"), "%f", &ra)
+					retrySum.Add(int64(ra * 1e6))
+					if attempt < g.Retries {
+						// Deterministic jitter keyed off the request index
+						// spreads retries within the hinted window without
+						// perturbing the seeded arrival schedule.
+						jitter := 0.75 + 0.5*float64((i+attempt)%16)/16
+						if ra <= 0 {
+							ra = 0.05
+						}
+						select {
+						case <-ctx.Done():
+							atomic.AddInt64(&res.Shed, 1)
+							return
+						case <-time.After(time.Duration(ra * jitter * float64(time.Second))):
+						}
+						atomic.AddInt64(&res.Retries, 1)
+						continue
+					}
+					atomic.AddInt64(&res.Shed, 1)
+					return
+				default:
+					atomic.AddInt64(&res.Errors, 1)
+					return
+				}
 			}
 		}(i)
 	}
 	wg.Wait()
-	if res.Shed > 0 {
-		res.RetryAfterMeanSec = float64(retrySum.Load()) / 1e6 / float64(res.Shed)
+	if n := res.Shed + res.Retries; n > 0 {
+		res.RetryAfterMeanSec = float64(retrySum.Load()) / 1e6 / float64(n)
 	}
 	res.MaxLagSec = float64(maxLagMicros.Load()) / 1e6
 	return res, ctx.Err()

@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"math"
 	"net/http"
+	"sync/atomic"
 )
 
 // maxBodyBytes bounds an infer request's JSON body; the serving engines carry
@@ -42,9 +44,10 @@ type ServerConfig struct {
 //	GET  /v1/{pipeline}/snapshot  live counters as JSON
 //	GET  /healthz                 200 while serving, 503 while draining
 type Server struct {
-	cfg   ServerConfig
-	known map[string]bool
-	mux   *http.ServeMux
+	cfg    ServerConfig
+	known  map[string]bool
+	mux    *http.ServeMux
+	panics atomic.Int64
 }
 
 // NewServer builds the front door over the given system hooks.
@@ -53,10 +56,36 @@ func NewServer(cfg ServerConfig) *Server {
 	for _, name := range cfg.Pipelines {
 		s.known[name] = true
 	}
-	s.mux.HandleFunc("POST /v1/{pipeline}/infer", s.infer)
-	s.mux.HandleFunc("GET /v1/{pipeline}/snapshot", s.snapshot)
+	s.mux.HandleFunc("POST /v1/{pipeline}/infer", s.recovered(s.infer))
+	s.mux.HandleFunc("GET /v1/{pipeline}/snapshot", s.recovered(s.snapshot))
 	s.mux.HandleFunc("GET /healthz", s.healthz)
 	return s
+}
+
+// Panics returns how many handler panics the recovery middleware has caught.
+func (s *Server) Panics() int64 { return s.panics.Load() }
+
+// recovered wraps a handler so a panic in the serving hooks (Submit and
+// Snapshot run arbitrary system code) downgrades to a 500 on that one
+// request instead of killing the whole front door: the panic is counted,
+// logged, and the connection closed, but the listener keeps serving.
+func (s *Server) recovered(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			s.panics.Add(1)
+			log.Printf("ingress: panic serving %s %s: %v", r.Method, r.URL.Path, rec)
+			// Best effort: if the handler already wrote a status line this
+			// write is a no-op error, and the closed connection signals the
+			// failure instead.
+			w.Header().Set("Connection", "close")
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: "internal error"})
+		}()
+		h(w, r)
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -75,6 +104,10 @@ type errorBody struct {
 	// RetryAfterSec repeats the Retry-After header with sub-second
 	// precision (the header is whole seconds, rounded up).
 	RetryAfterSec float64 `json:"retry_after_sec,omitempty"`
+	// Tier, on shed responses, is the service tier of the pipeline that was
+	// refused — load-shedding dashboards can confirm the low tiers degrade
+	// first without knowing the tenant layout.
+	Tier *int `json:"tier,omitempty"`
 }
 
 func (s *Server) infer(w http.ResponseWriter, r *http.Request) {
@@ -84,8 +117,11 @@ func (s *Server) infer(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.draining() {
+		// Draining is transient from the client's view — another replica (or
+		// a restart) takes over shortly, so the 503 carries a retry hint too.
+		w.Header().Set("Retry-After", "1")
 		w.Header().Set("Connection", "close")
-		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "draining"})
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "draining", RetryAfterSec: 1})
 		return
 	}
 	// The engines carry no request payload, so the body only needs to be
@@ -106,7 +142,8 @@ func (s *Server) infer(w http.ResponseWriter, r *http.Request) {
 			// Retry-After is whole seconds per RFC 9110; round up so the
 			// header never tells a client to retry before capacity exists.
 			w.Header().Set("Retry-After", fmt.Sprintf("%d", int(math.Ceil(se.RetryAfterSec))))
-			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: "shed", RetryAfterSec: se.RetryAfterSec})
+			tier := se.Tier
+			writeJSON(w, http.StatusTooManyRequests, errorBody{Error: "shed", RetryAfterSec: se.RetryAfterSec, Tier: &tier})
 			return
 		}
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})

@@ -224,6 +224,42 @@ func TestLoadGenCountsOutcomes(t *testing.T) {
 	}
 }
 
+func TestLoadGenRetriesSalvageShedRequests(t *testing.T) {
+	// A backend that sheds only its first few calls: with a retry budget, the
+	// shed requests sleep out the Retry-After hint and land on the recovered
+	// server, so nothing counts as Shed and the salvage shows up in RetriedOK.
+	var n atomic.Int64
+	srv := httptest.NewServer(NewServer(ServerConfig{
+		Pipelines: []string{"vision"},
+		Submit: func(ctx context.Context, pipeline string) error {
+			if n.Add(1) <= 4 {
+				return &ShedError{RetryAfterSec: 0.2}
+			}
+			return nil
+		},
+		Snapshot: func(pipeline string) (any, error) { return nil, nil },
+	}))
+	defer srv.Close()
+
+	g := &LoadGen{BaseURL: srv.URL, Pipeline: "vision", Conns: 8, Retries: 2, Client: srv.Client()}
+	res, err := g.Run(context.Background(), trace.Ramp(100, 100, 1, 0.1), rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent == 0 || res.Accepted != res.Sent {
+		t.Fatalf("every request should succeed after retries: %+v", res)
+	}
+	if res.Shed != 0 {
+		t.Fatalf("retry budget should absorb the transient shed: %+v", res)
+	}
+	if res.Retries == 0 || res.RetriedOK == 0 {
+		t.Fatalf("want salvaged retries recorded, got %+v", res)
+	}
+	if res.Retries < res.RetriedOK {
+		t.Fatalf("each salvage takes at least one retry: %+v", res)
+	}
+}
+
 func TestLoadGenUnknownPipelineCountsErrors(t *testing.T) {
 	srv := httptest.NewServer(fakeBackend(nil, nil, nil))
 	defer srv.Close()

@@ -54,6 +54,11 @@ type Options struct {
 	// and Feed alike) before a request enters the system; refused requests
 	// are shed — counted, reported to the collector, never queued.
 	Admission *ingress.Admission
+
+	// Tier is the pipeline's service tier, echoed on every shed decision
+	// (ingress.ShedError.Tier) so 429 responses carry which class of
+	// traffic was refused.
+	Tier int
 }
 
 // Engine is the live serving system.
@@ -98,15 +103,22 @@ type Engine struct {
 }
 
 type worker struct {
-	phys  int
-	class int        // hardware class index
-	speed float64    // the class's execution speed
-	cond  *sync.Cond // waits on the engine mutex
-	spec  *core.WorkerSpec
-	queue []*subreq
-	qcap  int
-	hbIn  int
-	hbOut int
+	phys      int
+	class     int        // hardware class index
+	speed     float64    // current execution speed (baseSpeed × straggler factor)
+	baseSpeed float64    // the class's nominal execution speed
+	cond      *sync.Cond // waits on the engine mutex
+	spec      *core.WorkerSpec
+	queue     []*subreq
+	qcap      int
+	hbIn      int
+	hbOut     int
+
+	// Fault state (guarded by e.mu): a down worker is skipped by plan
+	// claiming; gen increments on every crash so the worker goroutine can
+	// tell that the batch it just executed died with the old incarnation.
+	down bool
+	gen  int
 }
 
 type rootReq struct {
@@ -167,7 +179,7 @@ func New(meta *core.MetadataStore, pol policy.Policy, col *metrics.Collector, op
 			speed = 1.0
 		}
 		for i := 0; i < class.Count; i++ {
-			w := &worker{phys: len(e.workers), class: cl, speed: speed}
+			w := &worker{phys: len(e.workers), class: cl, speed: speed, baseSpeed: speed}
 			w.cond = sync.NewCond(&e.mu)
 			e.workers = append(e.workers, w)
 		}
@@ -229,7 +241,7 @@ func (e *Engine) ApplyPlan(plan *core.Plan, routes *core.Routes) {
 		s := &routes.Specs[i]
 		found := false
 		for wi, w := range e.workers {
-			if !claimed[wi] && w.spec != nil && key(w.spec) == key(s) {
+			if !claimed[wi] && !w.down && w.spec != nil && key(w.spec) == key(s) {
 				claimed[wi] = true
 				assign[wi] = s
 				found = true
@@ -242,7 +254,7 @@ func (e *Engine) ApplyPlan(plan *core.Plan, routes *core.Routes) {
 	}
 	for _, s := range unmatched {
 		for wi, w := range e.workers {
-			if !claimed[wi] && w.class == s.Class {
+			if !claimed[wi] && !w.down && w.class == s.Class {
 				claimed[wi] = true
 				assign[wi] = s
 				break
@@ -314,6 +326,53 @@ func (e *Engine) ActiveByClass() []int {
 		}
 	}
 	return out
+}
+
+// SetWorkerDown crashes physical worker phys: queued requests are lost, the
+// batch executing right now (if any) is discarded when its worker goroutine
+// wakes, the worker leaves the logical route table, and it stops counting
+// toward class capacity until SetWorkerUp. Idempotent and safe from any
+// goroutine.
+func (e *Engine) SetWorkerDown(phys int) {
+	e.mu.Lock()
+	w := e.workers[phys]
+	if w.down {
+		e.mu.Unlock()
+		return
+	}
+	w.down = true
+	w.gen++ // the executing batch, if any, dies with the old incarnation
+	if w.spec != nil {
+		if e.logical[w.spec.ID] == w {
+			delete(e.logical, w.spec.ID)
+		}
+		w.spec = nil
+	}
+	queue := w.queue
+	w.queue = nil
+	for _, sub := range queue {
+		e.abandonLocked(sub)
+	}
+	e.mu.Unlock()
+}
+
+// SetWorkerUp brings a crashed worker back as an idle server; the next
+// ApplyPlan may claim it again. Idempotent.
+func (e *Engine) SetWorkerUp(phys int) {
+	e.mu.Lock()
+	e.workers[phys].down = false
+	e.mu.Unlock()
+}
+
+// SetWorkerSpeedFactor scales a worker's execution speed relative to its
+// class's nominal speed (a straggler at factor 0.25 runs four times slower);
+// factor 1 restores full speed. A batch already executing keeps the latency
+// it started with.
+func (e *Engine) SetWorkerSpeedFactor(phys int, factor float64) {
+	e.mu.Lock()
+	w := e.workers[phys]
+	w.speed = w.baseSpeed * factor
+	e.mu.Unlock()
 }
 
 // Start launches the worker goroutines and the housekeeping loop
@@ -455,7 +514,7 @@ func (e *Engine) Submit() error {
 	e.mu.Unlock()
 	defer e.injectors.Done()
 	if ok, retry := e.inject(); !ok {
-		return &ingress.ShedError{RetryAfterSec: retry}
+		return &ingress.ShedError{RetryAfterSec: retry, Tier: e.opts.Tier}
 	}
 	return nil
 }
@@ -646,6 +705,8 @@ func (e *Engine) workerLoop(w *worker) {
 			return
 		}
 		spec := w.spec
+		gen := w.gen     // capture: a crash mid-batch discards the results
+		speed := w.speed // capture: straggler factor at batch start
 		b := len(w.queue)
 		if b > spec.MaxBatch {
 			b = spec.MaxBatch
@@ -655,8 +716,19 @@ func (e *Engine) workerLoop(w *worker) {
 		e.mu.Unlock()
 
 		v := &e.g.Tasks[spec.Task].Variants[spec.Variant]
-		e.sleepScaled(v.Latency(b) / w.speed)
+		e.sleepScaled(v.Latency(b) / speed)
 
+		e.mu.Lock()
+		stale := w.gen != gen
+		e.mu.Unlock()
+		if stale {
+			// The worker crashed while this batch was executing: the
+			// results never materialize and the roots are lost.
+			for _, sub := range batch {
+				e.abandon(sub)
+			}
+			continue
+		}
 		for _, sub := range batch {
 			e.complete(sub, w, spec)
 		}

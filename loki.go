@@ -59,6 +59,7 @@ import (
 	"time"
 
 	"loki/internal/core"
+	"loki/internal/fault"
 	"loki/internal/metrics"
 	"loki/internal/pipeline"
 	"loki/internal/policy"
@@ -186,6 +187,8 @@ type config struct {
 	timeScale  float64
 	fc         forecastConfig
 	admission  bool
+	faults     []FaultEvent
+	onFault    func(timeSec float64, event string)
 	// Zero values mean "on": the fast planning path is the default and
 	// these record the escape hatches.
 	plannerCacheOff     bool
@@ -351,6 +354,106 @@ func WithParallelPlanning(on bool) Option {
 // planner observes, so a shedding system scales up and the admitted rate
 // follows.
 func WithAdmission(on bool) Option { return func(c *config) { c.admission = on } }
+
+// FaultKind enumerates the failure modes the fault injector can produce.
+type FaultKind int
+
+const (
+	// FaultCrash takes N servers of a hardware class down; their queued
+	// and in-flight work is lost.
+	FaultCrash FaultKind = iota
+	// FaultOutage takes a whole hardware class down at once (the spot pool
+	// vanishes).
+	FaultOutage
+	// FaultStraggler multiplies the execution speed of N servers by Factor
+	// (0.25 = four times slower) without dropping their work.
+	FaultStraggler
+)
+
+// FaultEvent is one scheduled fault. At is measured from the start of
+// serving. Class names the hardware class hit (empty = the pool's first
+// class); N bounds how many servers are affected (ignored by FaultOutage);
+// Factor is the straggler speed multiplier; RecoverAfter, when positive,
+// undoes the fault that long after it fires (zero = permanent).
+type FaultEvent struct {
+	At           time.Duration
+	Kind         FaultKind
+	Class        string
+	N            int
+	Factor       float64
+	RecoverAfter time.Duration
+}
+
+// WithFaults installs a deterministic fault schedule into the serving
+// engines (default none). A crashed worker drops its queued and in-flight
+// batches, leaves the load balancer's route table, and stops counting toward
+// class capacity: the metadata stores and Snapshot report the live per-class
+// counts, and the arbiter re-plans against them within one adaptation round
+// (keep-warm repair plus per-class re-solves) instead of waiting out the RM
+// period. With no faults configured every code path is bit-identical to the
+// fault-free system. Same seed, same schedule — same run, on the simulator
+// bit for bit.
+//
+//	loki.WithFaults(loki.FaultEvent{
+//	    At: 30 * time.Second, Kind: loki.FaultOutage,
+//	    Class: "spot", RecoverAfter: 20 * time.Second})
+func WithFaults(events ...FaultEvent) Option {
+	return func(c *config) { c.faults = append([]FaultEvent(nil), events...) }
+}
+
+// ParseFaults parses the CLI fault grammar accepted by the serving CLIs'
+// -fault flag: comma-separated kind@time[:key=value]... events, where kind
+// is crash, outage, or straggle, time is a Go duration or plain seconds, and
+// the keys are class=<name>, n=<count>, factor=<mult>, recover=<duration>.
+//
+//	crash@30s:class=a100:n=2:recover=20s,outage@60s:class=spot:recover=30s
+//
+// An empty spec returns nil (no faults).
+func ParseFaults(spec string) ([]FaultEvent, error) {
+	sched, err := fault.Parse(spec)
+	if err != nil || sched == nil {
+		return nil, err
+	}
+	out := make([]FaultEvent, len(sched.Events))
+	for i, e := range sched.Events {
+		out[i] = FaultEvent{
+			At:           time.Duration(e.At * float64(time.Second)),
+			Kind:         FaultKind(e.Kind),
+			Class:        e.Class,
+			N:            e.N,
+			Factor:       e.Factor,
+			RecoverAfter: time.Duration(e.RecoverAfter * float64(time.Second)),
+		}
+	}
+	return out, nil
+}
+
+// WithFaultObserver registers a callback invoked on every fault and recovery
+// event with the engine's time in seconds and a human-readable description
+// (the serving CLIs log these in the status line). The callback may fire
+// from an engine goroutine; it must not call back into the system.
+func WithFaultObserver(fn func(timeSec float64, event string)) Option {
+	return func(c *config) { c.onFault = fn }
+}
+
+// faultSchedule converts the configured events to the internal schedule.
+func (c config) faultSchedule() *fault.Schedule {
+	if len(c.faults) == 0 {
+		return nil
+	}
+	s := &fault.Schedule{}
+	for _, e := range c.faults {
+		s.Events = append(s.Events, fault.Event{
+			At:           e.At.Seconds(),
+			Kind:         fault.Kind(e.Kind),
+			Class:        e.Class,
+			N:            e.N,
+			Factor:       e.Factor,
+			RecoverAfter: e.RecoverAfter.Seconds(),
+		})
+	}
+	return s
+}
 
 // Report is the outcome of a serving run.
 type Report struct {

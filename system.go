@@ -170,6 +170,13 @@ type Snapshot struct {
 	// last adaptation round. Zero without WithAdmission (use GrantedRate for
 	// the derivation on admission-free systems).
 	GrantedRateQPS float64
+	// LiveServers is the number of pool servers currently up — the pool
+	// size minus servers crashed by the fault injector (WithFaults). It
+	// equals the pool size when no fault is active.
+	LiveServers int
+	// LiveServersByClass breaks LiveServers down per hardware class. Nil on
+	// homogeneous systems.
+	LiveServersByClass map[string]int
 }
 
 // Snapshot returns live counters without disturbing the run.

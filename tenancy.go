@@ -28,6 +28,7 @@ type pipelineConfig struct {
 	baseline Baseline
 	baseSet  bool
 	fc       forecastConfig
+	tier     int
 }
 
 // PipelineOption configures one pipeline registered with
@@ -63,6 +64,24 @@ func WithShare(f float64) PipelineOption {
 // does; BaselineProteus is single-tenant only).
 func WithPipelineBaseline(b Baseline) PipelineOption {
 	return func(c *pipelineConfig) { c.baseline = b; c.baseSet = true }
+}
+
+// WithTier assigns this pipeline a service tier and, when slo is positive,
+// its latency SLO in one stroke. Higher tiers are higher priority; the
+// default tier is 0. Tiers only matter when capacity is short — an outage, a
+// crash, or plain contention: the joint arbiter grants floors tier by tier
+// from the top and spills leftover capacity to the highest unmet tier first,
+// so a shrinking pool degrades the lowest tiers first while high-tier SLOs
+// hold. Admission follows the grants (a low tier's rate falls first, so its
+// traffic sheds first), and the tier rides on every ShedError and 429. With
+// uniform tiers the split is bit-identical to the tier-free system.
+func WithTier(tier int, slo time.Duration) PipelineOption {
+	return func(c *pipelineConfig) {
+		c.tier = tier
+		if slo > 0 {
+			c.slo = slo
+		}
+	}
 }
 
 // msTenant is one registered pipeline with its per-tenant control-plane
@@ -170,6 +189,9 @@ func (m *MultiSystem) AddPipeline(name string, p *Pipeline, opts ...PipelineOpti
 	if pc.share < 0 || pc.share >= 1 {
 		return fmt.Errorf("loki: pipeline %q share %.3f outside [0,1)", name, pc.share)
 	}
+	if pc.tier < 0 {
+		return fmt.Errorf("loki: pipeline %q tier %d is negative", name, pc.tier)
+	}
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -219,6 +241,7 @@ func (m *MultiSystem) AddPipeline(name string, p *Pipeline, opts ...PipelineOpti
 			Policy:    pc.pol,
 			Collector: col,
 			SLOSec:    pc.slo.Seconds(),
+			Tier:      pc.tier,
 		},
 	}
 	if proteus != nil {
@@ -272,6 +295,8 @@ func (m *MultiSystem) buildLocked() error {
 		SwapLatencySec: m.cfg.swap.Seconds(),
 		ExecJitter:     m.cfg.jitter,
 		TimeScale:      m.cfg.timeScale,
+		Faults:         m.cfg.faultSchedule(),
+		OnFault:        m.cfg.onFault,
 	}
 	for _, t := range m.tenants {
 		mc.Tenants = append(mc.Tenants, t.ecfg)
@@ -299,6 +324,7 @@ func (m *MultiSystem) buildLocked() error {
 		}
 		ctenants[i] = &core.Tenant{
 			Name:               t.name,
+			Tier:               t.pcfg.tier,
 			Meta:               t.meta,
 			Alloc:              t.planner,
 			MinShare:           t.pcfg.share,
@@ -515,17 +541,25 @@ func (m *MultiSystem) Snapshot(pipeline string) (Snapshot, error) {
 		snap.AdmittedQPS, snap.ShedQPS = t.adm.Rates(snap.TimeSec)
 		snap.GrantedRateQPS = t.adm.Rate()
 	}
+	live := t.meta.LiveClassCounts()
+	for _, n := range live {
+		snap.LiveServers += n
+	}
 	if classes := t.meta.Classes(); len(classes) > 1 {
 		active := m.eng.ActiveByClass(i)
 		grants := m.ctrl.ClassGrants()[i]
 		snap.ActiveServersByClass = map[string]int{}
 		snap.GrantedServersByClass = map[string]int{}
+		snap.LiveServersByClass = map[string]int{}
 		for c, cl := range classes {
 			if c < len(active) {
 				snap.ActiveServersByClass[cl.Name] = active[c]
 			}
 			if c < len(grants) {
 				snap.GrantedServersByClass[cl.Name] = grants[c]
+			}
+			if c < len(live) {
+				snap.LiveServersByClass[cl.Name] = live[c]
 			}
 		}
 	}
