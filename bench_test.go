@@ -352,6 +352,40 @@ func BenchmarkChaosOutage(b *testing.B) {
 	}
 }
 
+// BenchmarkTelemetryOverhead measures the telemetry plane's cost on the
+// simulator's hot path: the same seeded serving run with the collector,
+// registry, and request tracer fully armed ("on") versus the
+// WithTelemetry(false) escape hatch ("off"). Telemetry consumes no RNG
+// stream, so both arms serve bit-identical runs and the throughput delta is
+// pure observation overhead; the acceptance bound is a < 5% regression of
+// sim_requests/s on versus off. The recorded baseline lives in
+// BENCH_telemetry.json.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	pipe := loki.TrafficAnalysisPipeline()
+	tr := &trace.Trace{Interval: 10, QPS: []float64{500, 500, 500}}
+	arms := []struct {
+		name string
+		opts []loki.Option
+	}{
+		{"off", []loki.Option{loki.WithTelemetry(false)}},
+		{"on", nil},
+	}
+	for _, arm := range arms {
+		b.Run(arm.name, func(b *testing.B) {
+			total := 0.0
+			for i := 0; i < b.N; i++ {
+				opts := append([]loki.Option{loki.WithSeed(int64(i))}, arm.opts...)
+				rep, err := loki.Serve(pipe, tr, opts...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += float64(rep.Arrivals)
+			}
+			b.ReportMetric(total/b.Elapsed().Seconds(), "sim_requests/s")
+		})
+	}
+}
+
 // BenchmarkForecastSpike runs the proactive-provisioning experiment per
 // iteration (reactive vs trend vs Holt-Winters on an identical flash crowd
 // and an identical diurnal cycle) and reports every run's window SLO

@@ -33,9 +33,17 @@
 // -engine sim the run happens in virtual time and snapshots are printed
 // between lifecycle phases instead.
 //
+// Observability — every run records per-worker telemetry (scrape GET
+// /metrics under -listen, or read Snapshot.Workers) and samples request
+// traces; -trace-out dumps the sampled span trees and per-stage latency
+// summaries to a JSON file after the run:
+//
+//	lokiserve -pipeline traffic -trace-out traces.json
+//
 // With -listen the demo loop is replaced by the HTTP front door: the system
-// mounts POST /v1/{pipeline}/infer, GET /v1/{pipeline}/snapshot, and GET
-// /healthz on the given address and serves real sockets until SIGINT/SIGTERM,
+// mounts POST /v1/{pipeline}/infer, GET /v1/{pipeline}/snapshot, GET
+// /metrics, and GET /healthz on the given address and serves real sockets
+// until SIGINT/SIGTERM,
 // then shuts down gracefully — stops admitting (503 on new requests), drains
 // in-flight work against -drain, and stops the system. Pair it with
 // -admission to shed per-tenant overload with 429 + Retry-After, and drive it
@@ -83,6 +91,7 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for -listen: drain in-flight work this long before exiting")
 	faults := flag.String("fault", "", "fault schedule, e.g. crash@30s:class=a100:n=2:recover=20s,outage@60s:class=spot:recover=30s (kinds crash, outage, straggle; keys class=, n=, factor=, recover=)")
 	tiers := flag.String("tier", "", "service tier(s) under contention, higher sheds last (comma-separated, one per pipeline; blank = untiered)")
+	traceOut := flag.String("trace-out", "", "write the sampled request traces (span trees + per-stage latency summaries) to this file as JSON after the run")
 	flag.Parse()
 
 	names := strings.Split(*pipeNames, ",")
@@ -227,7 +236,7 @@ func main() {
 	}
 
 	if *listen != "" {
-		serveHTTP(sys, *listen, *monitor, *drain)
+		serveHTTP(sys, *listen, *monitor, *drain, *traceOut)
 		return
 	}
 
@@ -258,6 +267,7 @@ func main() {
 	if err := sys.Stop(); err != nil {
 		log.Fatal(err)
 	}
+	writeTraces(sys, *traceOut)
 
 	fmt.Println("\nfinal state:")
 	printSnapshots(sys)
@@ -292,7 +302,7 @@ func main() {
 // sockets until SIGINT/SIGTERM, then shut down gracefully — stop admitting
 // (new requests get 503), let the HTTP server finish in-flight exchanges, and
 // stop the serving system, all against the -drain deadline.
-func serveHTTP(sys *loki.MultiSystem, addr string, monitor, drainDeadline time.Duration) {
+func serveHTTP(sys *loki.MultiSystem, addr string, monitor, drainDeadline time.Duration, traceOut string) {
 	srv := &http.Server{Addr: addr, Handler: sys}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -339,6 +349,7 @@ func serveHTTP(sys *loki.MultiSystem, addr string, monitor, drainDeadline time.D
 		log.Printf("drain deadline %s exceeded; exiting with work in flight", drainDeadline)
 	}
 	close(done)
+	writeTraces(sys, traceOut)
 
 	fmt.Println("\nfinal state:")
 	printSnapshots(sys)
@@ -350,6 +361,25 @@ func serveHTTP(sys *loki.MultiSystem, addr string, monitor, drainDeadline time.D
 	if len(reports) > 1 {
 		fmt.Println(sys.AggregateReport())
 	}
+}
+
+// writeTraces dumps the run's sampled request traces to path (-trace-out);
+// a blank path means the flag was not given.
+func writeTraces(sys *loki.MultiSystem, path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Printf("trace-out: %v", err)
+		return
+	}
+	defer f.Close()
+	if err := sys.WriteTraces(f); err != nil {
+		log.Printf("trace-out: %v", err)
+		return
+	}
+	fmt.Printf("wrote request traces to %s\n", path)
 }
 
 // pick returns list[i] trimmed. When the list is shorter than the pipeline

@@ -20,6 +20,7 @@ import (
 	"loki/internal/policy"
 	"loki/internal/profiles"
 	"loki/internal/sim"
+	"loki/internal/telemetry"
 )
 
 // Options configures the simulated cluster.
@@ -51,6 +52,13 @@ type Options struct {
 	// requests (≥ 2×MaxBatch); beyond that a request is hopeless and is
 	// dropped at enqueue. Zero means 2.0.
 	QueueFactor float64
+	// Telemetry, when non-nil, receives per-worker enqueue/batch/swap/fault
+	// events; it updates on the simulator's single event goroutine so the
+	// seeded run is untouched. Nil disables collection.
+	Telemetry *telemetry.Collector
+	// Tracer, when non-nil, samples root requests into span trees using its
+	// own RNG (never this cluster's seeded stream). Nil disables tracing.
+	Tracer *telemetry.Tracer
 }
 
 // Cluster is the simulated worker pool. Drive it by scheduling
@@ -121,6 +129,7 @@ type rootRequest struct {
 	dropped     bool
 	accSum      float64
 	accN        int
+	tr          *telemetry.ReqTrace // nil unless sampled
 }
 
 type subrequest struct {
@@ -318,6 +327,7 @@ func (c *Cluster) ApplyPlan(plan *core.Plan, routes *core.Routes) {
 			if c.Opts.SwapLatencySec > 0 {
 				w.swapUntil = now + c.Opts.SwapLatencySec
 				c.TotalSwaps++
+				c.Opts.Telemetry.Swap(now, w.phys)
 				wq := w
 				c.Eng.At(w.swapUntil, func() { c.tryStart(wq) })
 			}
@@ -329,6 +339,7 @@ func (c *Cluster) ApplyPlan(plan *core.Plan, routes *core.Routes) {
 		if w.spec != nil {
 			w.qcap = c.queueCap(w.spec)
 		}
+		c.Opts.Telemetry.SetAssigned(now, w.phys, c.assignedName(w.spec))
 	}
 
 	// Refresh rerouting capacity from the new backup tables.
@@ -353,6 +364,16 @@ func (c *Cluster) dropQueue(w *worker) {
 		c.abandon(sub)
 	}
 	w.queue = nil
+	c.Opts.Telemetry.QueueCleared(c.Eng.Now(), w.phys)
+}
+
+// assignedName renders a spec as "task/variant" for the telemetry row, or ""
+// for an idle worker.
+func (c *Cluster) assignedName(s *core.WorkerSpec) string {
+	if s == nil {
+		return ""
+	}
+	return fmt.Sprintf("%s/%d", c.g.Tasks[s.Task].Name, s.Variant)
 }
 
 // SetWorkerDown crashes physical worker phys: queued requests are lost, the
@@ -376,12 +397,14 @@ func (c *Cluster) SetWorkerDown(phys int) {
 	w.swapUntil = 0
 	c.DropsFault += int64(len(w.queue))
 	c.dropQueue(w)
+	c.Opts.Telemetry.SetDown(c.Eng.Now(), phys, true)
 }
 
 // SetWorkerUp brings a crashed worker back as an idle server; the next
 // ApplyPlan may claim it again. Idempotent.
 func (c *Cluster) SetWorkerUp(phys int) {
 	c.workers[phys].down = false
+	c.Opts.Telemetry.SetDown(c.Eng.Now(), phys, false)
 }
 
 // SetWorkerSpeedFactor scales a worker's execution speed relative to its
@@ -391,6 +414,7 @@ func (c *Cluster) SetWorkerUp(phys int) {
 func (c *Cluster) SetWorkerSpeedFactor(phys int, factor float64) {
 	w := c.workers[phys]
 	w.speed = w.baseSpeed * factor
+	c.Opts.Telemetry.SetSpeed(c.Eng.Now(), phys, factor)
 }
 
 // InjectRequest admits one client query at the current time.
@@ -407,6 +431,7 @@ func (c *Cluster) InjectRequest() {
 		arrived:  now,
 		deadline: now + c.Opts.SLOSec,
 	}
+	root.tr = c.Opts.Tracer.Start(root.id, now)
 	c.inflight++
 
 	if c.routes == nil || len(c.routes.Frontend) == 0 {
@@ -443,6 +468,7 @@ func (c *Cluster) deliver(sub *subrequest, target core.WorkerID) {
 		sub.enqueued = c.Eng.Now()
 		c.taskArrivals[sub.task]++
 		w.queue = append(w.queue, sub)
+		c.Opts.Telemetry.Enqueue(sub.enqueued, w.phys)
 		c.tryStart(w)
 	})
 }
@@ -463,6 +489,8 @@ func (c *Cluster) tryStart(w *worker) {
 	w.busy = true
 	spec := w.spec // capture: reconfiguration must not affect a running batch
 	gen := w.gen   // capture: a crash mid-batch discards the results
+	startT := now
+	c.Opts.Telemetry.BatchStart(now, w.phys, b)
 
 	v := &c.g.Tasks[spec.Task].Variants[spec.Variant]
 	lat := v.Latency(b) / w.speed
@@ -472,7 +500,8 @@ func (c *Cluster) tryStart(w *worker) {
 	c.Eng.After(lat, func() {
 		if w.gen != gen {
 			// The worker crashed while this batch was executing: the
-			// results never materialize and the roots are lost.
+			// results never materialize and the roots are lost. (The crash
+			// already cleared the worker's telemetry in-flight state.)
 			c.DropsFault += int64(len(batch))
 			for _, sub := range batch {
 				c.abandon(sub)
@@ -480,6 +509,23 @@ func (c *Cluster) tryStart(w *worker) {
 			return
 		}
 		w.busy = false
+		endT := c.Eng.Now()
+		c.Opts.Telemetry.BatchEnd(endT, w.phys, len(batch))
+		if c.Opts.Tracer != nil {
+			for _, sub := range batch {
+				if sub.root.tr != nil {
+					c.Opts.Tracer.AddSpan(sub.root.tr, telemetry.Span{
+						Stage:       c.g.Tasks[spec.Task].Name,
+						Worker:      w.phys,
+						Class:       c.Opts.Classes[w.class].Name,
+						EnqueuedSec: sub.enqueued,
+						StartSec:    startT,
+						EndSec:      endT,
+						Batch:       len(batch),
+					})
+				}
+			}
+		}
 		for _, sub := range batch {
 			c.completeAt(sub, w, spec)
 		}
@@ -640,10 +686,12 @@ func (c *Cluster) finish(root *rootRequest) {
 		if c.Metrics != nil {
 			c.Metrics.Dropped(now, root.arrived)
 		}
+		c.Opts.Tracer.Finish(root.tr, now, true, false)
 		return
 	}
 	c.TotalCompleted++
 	late := now > root.deadline+1e-9
+	c.Opts.Tracer.Finish(root.tr, now, false, late)
 	accuracy := math.NaN()
 	if root.accN > 0 {
 		accuracy = root.accSum / float64(root.accN)
@@ -723,4 +771,5 @@ func (c *Cluster) Heartbeat() {
 		c.Metrics.SampleServers(now, c.ActiveServers())
 		c.Metrics.SampleClassServers(c.ActiveByClass())
 	}
+	c.Opts.Telemetry.Sample(now)
 }

@@ -8,8 +8,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"loki/internal/profiles"
+	"loki/internal/telemetry"
 )
 
 // Control is the engine-facing controller surface: the serving backends
@@ -104,6 +106,7 @@ type Tenant struct {
 	planDmd   float64
 	grant     []int // per-class servers currently granted
 	allocates int
+	truncated int // fresh solves whose branch & bound hit a resource limit
 }
 
 // cachedPlan is one plan-cache entry plus the fine-granularity demand
@@ -183,6 +186,9 @@ func (t *Tenant) solve(demand float64, caps []int, ratio float64) (*Plan, error)
 		t.cache[key] = cachedPlan{plan: plan, fineBucket: fine}
 	}
 	t.allocates++
+	if plan.SolveStats.Truncated {
+		t.truncated++
+	}
 	return plan, nil
 }
 
@@ -276,6 +282,23 @@ type MultiController struct {
 	// period.
 	live       []int
 	capChanged bool
+
+	// tel, when non-nil, publishes planner diagnostics (round count, last
+	// round's solve time, per-tenant truncated solves and grants) to a
+	// telemetry registry — the structured replacement for the LOKI_PROBE
+	// print-based diagnostics in internal/experiments.
+	tel *plannerTelemetry
+}
+
+// plannerTelemetry holds the arbiter's registry handles. Counters are fed
+// deltas so the series stay monotone; AtSec carries the planner step counter
+// (the arbiter has no engine clock of its own).
+type plannerTelemetry struct {
+	rounds    *telemetry.Counter
+	roundSec  *telemetry.Gauge
+	truncated []*telemetry.Counter // per tenant, registration order
+	grants    []*telemetry.Gauge   // per tenant, registration order
+	lastTrunc []int
 }
 
 // CapacityObserver is implemented by controllers that re-plan against live
@@ -316,6 +339,35 @@ func (m *MultiController) ObserveCapacity(liveByClass []int) {
 		m.live = live
 	}
 	m.capChanged = true
+}
+
+// SetTelemetry points the arbiter at a telemetry registry: every allocation
+// round then publishes loki_planner_rounds_total, loki_planner_round_seconds
+// (last round's wall-clock solve time), and per-tenant
+// loki_planner_truncated_solves_total counters and loki_planner_grant_servers
+// gauges. A nil registry turns publication off. Call after every tenant has
+// been registered.
+func (m *MultiController) SetTelemetry(reg *telemetry.Registry) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if reg == nil {
+		m.tel = nil
+		return
+	}
+	pt := &plannerTelemetry{
+		rounds:    reg.Counter("loki_planner_rounds_total", "Joint allocation rounds executed.", nil),
+		roundSec:  reg.Gauge("loki_planner_round_seconds", "Wall-clock duration of the last allocation round.", nil),
+		lastTrunc: make([]int, len(m.tenants)),
+	}
+	for i, t := range m.tenants {
+		lbl := telemetry.L("tenant", t.Name)
+		pt.truncated = append(pt.truncated,
+			reg.Counter("loki_planner_truncated_solves_total", "MILP solves cut short by a resource limit, per tenant.", lbl))
+		pt.grants = append(pt.grants,
+			reg.Gauge("loki_planner_grant_servers", "Servers granted in the last allocation round, per tenant.", lbl))
+		pt.lastTrunc[i] = t.truncated
+	}
+	m.tel = pt
 }
 
 // LiveCounts returns the per-class server counts the arbiter currently plans
@@ -537,6 +589,10 @@ func (m *MultiController) Step(force bool) error {
 // on fast hardware may substitute slow hardware in its capped re-solve), and
 // results are assembled in registration order.
 func (m *MultiController) allocateLocked(demands []float64) error {
+	var roundStart time.Time
+	if m.tel != nil {
+		roundStart = time.Now()
+	}
 	ratio := m.bucketRatio()
 	counts := m.liveCountsLocked()
 	nc := len(counts)
@@ -677,6 +733,20 @@ func (m *MultiController) allocateLocked(demands []float64) error {
 			totals[i] = sumInts(grants[i])
 		}
 		m.OnGrants(m.steps, totals)
+	}
+	if m.tel != nil {
+		// AtSec carries the planner step counter; the round-duration gauge is
+		// the only wall-clock (nondeterministic) value published here.
+		at := float64(m.steps)
+		m.tel.rounds.Add(at, 1)
+		m.tel.roundSec.Set(at, time.Since(roundStart).Seconds())
+		for i, t := range m.tenants {
+			if d := t.truncated - m.tel.lastTrunc[i]; d > 0 {
+				m.tel.truncated[i].Add(at, float64(d))
+				m.tel.lastTrunc[i] = t.truncated
+			}
+			m.tel.grants[i].Set(at, float64(sumInts(grants[i])))
+		}
 	}
 	return nil
 }
@@ -1234,6 +1304,20 @@ func (m *MultiController) Allocates() int {
 	n := 0
 	for _, t := range m.tenants {
 		n += t.allocates
+	}
+	return n
+}
+
+// TruncatedSolves returns the total number of fresh MILP solves whose branch
+// & bound search was cut short by a resource limit, across all tenants — the
+// same signal the loki_planner_truncated_solves_total telemetry counter
+// publishes per tenant.
+func (m *MultiController) TruncatedSolves() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, t := range m.tenants {
+		n += t.truncated
 	}
 	return n
 }

@@ -19,6 +19,7 @@ import (
 	"loki/internal/pipeline"
 	"loki/internal/policy"
 	"loki/internal/profiles"
+	"loki/internal/telemetry"
 	"loki/internal/trace"
 )
 
@@ -67,6 +68,13 @@ type Config struct {
 	// housekeeping second (the Proteus-like baseline scales each task
 	// against this history).
 	OnTaskDemand func(task pipeline.TaskID, count float64)
+
+	// Telemetry, when non-nil, is the per-worker collector the backend feeds
+	// with enqueue/batch/swap/fault events (see internal/telemetry). Nil
+	// disables collection.
+	Telemetry *telemetry.Collector
+	// Tracer, when non-nil, samples requests into span trees.
+	Tracer *telemetry.Tracer
 }
 
 func (c *Config) defaults() error {

@@ -17,6 +17,7 @@ import (
 	"loki/internal/policy"
 	"loki/internal/profiles"
 	"loki/internal/sim"
+	"loki/internal/telemetry"
 	"loki/internal/trace"
 )
 
@@ -43,6 +44,13 @@ type TenantConfig struct {
 	// (ingress.ShedError.Tier) so 429 responses carry which class of
 	// traffic was refused.
 	Tier int
+
+	// Telemetry, when non-nil, is this tenant's per-worker collector; the
+	// backend feeds it enqueue/batch/swap/fault events and samples it each
+	// housekeeping second. Nil disables collection.
+	Telemetry *telemetry.Collector
+	// Tracer, when non-nil, samples this tenant's requests into span trees.
+	Tracer *telemetry.Tracer
 }
 
 // MultiConfig assembles a multi-tenant backend: the shared pool-level knobs
@@ -206,6 +214,8 @@ func newMultiSimulated(cfg MultiConfig) (MultiEngine, error) {
 			SwapLatencySec: cfg.SwapLatencySec,
 			ExecJitter:     cfg.ExecJitter,
 			QueueFactor:    cfg.QueueFactor,
+			Telemetry:      t.Telemetry,
+			Tracer:         t.Tracer,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("engine: tenant %d: %w", i, err)
@@ -539,6 +549,8 @@ func newMultiWallclock(cfg MultiConfig) (MultiEngine, error) {
 			OnTaskDemand:  t.OnTaskDemand,
 			Admission:     t.Admission,
 			Tier:          t.Tier,
+			Telemetry:     t.Telemetry,
+			Tracer:        t.Tracer,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("engine: tenant %d: %w", i, err)

@@ -41,6 +41,8 @@ func NewSimulated(cfg Config) (Engine, error) {
 		SwapLatencySec: cfg.SwapLatencySec,
 		ExecJitter:     cfg.ExecJitter,
 		QueueFactor:    cfg.QueueFactor,
+		Telemetry:      cfg.Telemetry,
+		Tracer:         cfg.Tracer,
 	})
 	if err != nil {
 		return nil, err

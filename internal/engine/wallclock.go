@@ -31,6 +31,8 @@ func NewWallclock(cfg Config) (Engine, error) {
 		LBIntervalSec: cfg.LBIntervalSec,
 		QueueFactor:   cfg.QueueFactor,
 		OnTaskDemand:  cfg.OnTaskDemand,
+		Telemetry:     cfg.Telemetry,
+		Tracer:        cfg.Tracer,
 	})
 	if err != nil {
 		return nil, err

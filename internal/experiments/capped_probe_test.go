@@ -18,6 +18,13 @@ import (
 // when LOKI_PROBE is set:
 //
 //	LOKI_PROBE=1 go test ./internal/experiments -run CappedClaimProbe -v
+//
+// The production-facing counterpart of this probe lives in the telemetry
+// registry: loki_planner_truncated_solves_total{tenant} counts MILP solves
+// cut short by a resource limit, and loki_planner_round_seconds gauges the
+// last allocation round — scrape GET /metrics (or read
+// MultiSystem.Telemetry) instead of rerunning the probe to spot truncation
+// in a live system.
 func TestCappedClaimProbe(t *testing.T) {
 	if os.Getenv("LOKI_PROBE") == "" {
 		t.Skip("diagnostic probe; set LOKI_PROBE=1 to run")

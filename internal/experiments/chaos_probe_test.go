@@ -13,6 +13,12 @@ import (
 // runs when LOKI_PROBE is set:
 //
 //	LOKI_PROBE=1 go test ./internal/experiments -run ChaosGrantProbe -v
+//
+// For live systems the same grant trajectory is exported as structured
+// telemetry: loki_planner_grant_servers{tenant} gauges each tenant's grant
+// after every allocation round, and loki_planner_rounds_total counts the
+// rounds — scrape GET /metrics (or read MultiSystem.Telemetry) to watch
+// tier engagement without a replay.
 func TestChaosGrantProbe(t *testing.T) {
 	if os.Getenv("LOKI_PROBE") == "" {
 		t.Skip("diagnostic probe; set LOKI_PROBE=1 to run")

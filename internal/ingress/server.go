@@ -34,6 +34,11 @@ type ServerConfig struct {
 	// health checks answer 503 while in-flight work keeps draining.
 	// Observation endpoints stay up.
 	Draining func() bool
+	// Metrics, when non-nil, renders the system's telemetry registry in
+	// Prometheus text exposition format; it is mounted at GET /metrics.
+	// Nil leaves the endpoint unregistered (404) — the telemetry plane is
+	// off. Like the other observation endpoints it stays up while draining.
+	Metrics func(w io.Writer)
 }
 
 // Server is the HTTP front door: it mounts per-pipeline infer and snapshot
@@ -42,6 +47,7 @@ type ServerConfig struct {
 //
 //	POST /v1/{pipeline}/infer     admit one request (optional JSON body)
 //	GET  /v1/{pipeline}/snapshot  live counters as JSON
+//	GET  /metrics                 Prometheus text exposition (when wired)
 //	GET  /healthz                 200 while serving, 503 while draining
 type Server struct {
 	cfg    ServerConfig
@@ -58,6 +64,9 @@ func NewServer(cfg ServerConfig) *Server {
 	}
 	s.mux.HandleFunc("POST /v1/{pipeline}/infer", s.recovered(s.infer))
 	s.mux.HandleFunc("GET /v1/{pipeline}/snapshot", s.recovered(s.snapshot))
+	if cfg.Metrics != nil {
+		s.mux.HandleFunc("GET /metrics", s.recovered(s.metrics))
+	}
 	s.mux.HandleFunc("GET /healthz", s.healthz)
 	return s
 }
@@ -167,6 +176,14 @@ func (s *Server) snapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, snap)
+}
+
+// metrics serves the Prometheus text exposition. The version=0.0.4 media
+// type is the text-format contract Prometheus scrapers negotiate.
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	s.cfg.Metrics(w)
 }
 
 func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {

@@ -21,6 +21,7 @@ import (
 	"loki/internal/pipeline"
 	"loki/internal/policy"
 	"loki/internal/profiles"
+	"loki/internal/telemetry"
 	"loki/internal/trace"
 )
 
@@ -59,6 +60,14 @@ type Options struct {
 	// (ingress.ShedError.Tier) so 429 responses carry which class of
 	// traffic was refused.
 	Tier int
+
+	// Telemetry, when non-nil, receives per-worker enqueue/batch/fault
+	// events (internally synchronized; safe under or outside e.mu). Nil
+	// disables collection.
+	Telemetry *telemetry.Collector
+	// Tracer, when non-nil, samples root requests into span trees with its
+	// own RNG. Wall-clock traces are real measurements, not reproducible.
+	Tracer *telemetry.Tracer
 }
 
 // Engine is the live serving system.
@@ -100,6 +109,7 @@ type Engine struct {
 	TotalRerouted  int64
 	TotalShed      int64
 	inFlightN      int64 // admitted roots not yet finished (the saturation signal)
+	nextRootID     int64 // trace identity for sampled requests
 }
 
 type worker struct {
@@ -129,6 +139,7 @@ type rootReq struct {
 	dropped     bool
 	accSum      float64
 	accN        int
+	tr          *telemetry.ReqTrace // nil unless sampled; set once at injection
 }
 
 type subreq struct {
@@ -272,18 +283,24 @@ func (e *Engine) ApplyPlan(plan *core.Plan, routes *core.Routes) {
 				e.abandonLocked(sub)
 			}
 			w.queue = nil
+			e.opts.Telemetry.QueueCleared(e.now(), w.phys)
 		}
 		if ns != nil && w.spec != nil && w.spec.Task != ns.Task {
 			for _, sub := range w.queue {
 				e.abandonLocked(sub)
 			}
 			w.queue = nil
+			e.opts.Telemetry.QueueCleared(e.now(), w.phys)
+		}
+		if ns != nil && w.spec != nil && (w.spec.Task != ns.Task || w.spec.Variant != ns.Variant) {
+			e.opts.Telemetry.Swap(e.now(), w.phys)
 		}
 		w.spec = ns
 		if ns != nil {
 			w.qcap = queueCap(e.opts, ns)
 			w.cond.Signal()
 		}
+		e.opts.Telemetry.SetAssigned(e.now(), w.phys, e.assignedName(ns))
 	}
 	e.backupLeft = map[core.WorkerID]float64{}
 	for _, entries := range routes.Backup {
@@ -291,6 +308,15 @@ func (e *Engine) ApplyPlan(plan *core.Plan, routes *core.Routes) {
 			e.backupLeft[b.Worker] = b.Leftover
 		}
 	}
+}
+
+// assignedName renders a spec as "task/variant" for the telemetry row, or ""
+// for an idle worker.
+func (e *Engine) assignedName(s *core.WorkerSpec) string {
+	if s == nil {
+		return ""
+	}
+	return fmt.Sprintf("%s/%d", e.g.Tasks[s.Task].Name, s.Variant)
 }
 
 func queueCap(o Options, s *core.WorkerSpec) int {
@@ -354,6 +380,7 @@ func (e *Engine) SetWorkerDown(phys int) {
 		e.abandonLocked(sub)
 	}
 	e.mu.Unlock()
+	e.opts.Telemetry.SetDown(e.now(), phys, true)
 }
 
 // SetWorkerUp brings a crashed worker back as an idle server; the next
@@ -362,6 +389,7 @@ func (e *Engine) SetWorkerUp(phys int) {
 	e.mu.Lock()
 	e.workers[phys].down = false
 	e.mu.Unlock()
+	e.opts.Telemetry.SetDown(e.now(), phys, false)
 }
 
 // SetWorkerSpeedFactor scales a worker's execution speed relative to its
@@ -373,6 +401,7 @@ func (e *Engine) SetWorkerSpeedFactor(phys int, factor float64) {
 	w := e.workers[phys]
 	w.speed = w.baseSpeed * factor
 	e.mu.Unlock()
+	e.opts.Telemetry.SetSpeed(e.now(), phys, factor)
 }
 
 // Start launches the worker goroutines and the housekeeping loop
@@ -474,6 +503,7 @@ func (e *Engine) housekeeping() {
 			c.SampleServers(now, active)
 			c.SampleClassServers(activeByClass)
 		})
+		e.opts.Telemetry.Sample(now)
 		if ctrl == nil {
 			continue
 		}
@@ -649,6 +679,8 @@ func (e *Engine) inject() (admitted bool, retryAfterSec float64) {
 	}
 	e.TotalInjected++
 	e.inFlightN++
+	e.nextRootID++
+	rootID := e.nextRootID
 	routes := e.routes
 	var target core.WorkerID
 	ok := false
@@ -664,6 +696,7 @@ func (e *Engine) inject() (admitted bool, retryAfterSec float64) {
 		}
 	})
 	root := &rootReq{arrived: now, deadline: now + e.opts.SLOSec}
+	root.tr = e.opts.Tracer.Start(rootID, now)
 	if !ok {
 		root.dropped = true
 		e.finish(root)
@@ -691,6 +724,7 @@ func (e *Engine) deliver(sub *subreq, target core.WorkerID) {
 	e.taskArrivals[sub.task]++
 	w.cond.Signal()
 	e.mu.Unlock()
+	e.opts.Telemetry.Enqueue(sub.enqueued, w.phys)
 }
 
 // workerLoop executes batches until the engine stops.
@@ -714,6 +748,8 @@ func (e *Engine) workerLoop(w *worker) {
 		batch := append([]*subreq(nil), w.queue[:b]...)
 		w.queue = w.queue[b:]
 		e.mu.Unlock()
+		startT := e.now()
+		e.opts.Telemetry.BatchStart(startT, w.phys, b)
 
 		v := &e.g.Tasks[spec.Task].Variants[spec.Variant]
 		e.sleepScaled(v.Latency(b) / speed)
@@ -723,11 +759,29 @@ func (e *Engine) workerLoop(w *worker) {
 		e.mu.Unlock()
 		if stale {
 			// The worker crashed while this batch was executing: the
-			// results never materialize and the roots are lost.
+			// results never materialize and the roots are lost. (The crash
+			// already cleared the worker's telemetry in-flight state.)
 			for _, sub := range batch {
 				e.abandon(sub)
 			}
 			continue
+		}
+		endT := e.now()
+		e.opts.Telemetry.BatchEnd(endT, w.phys, len(batch))
+		if e.opts.Tracer != nil {
+			for _, sub := range batch {
+				if sub.root.tr != nil {
+					e.opts.Tracer.AddSpan(sub.root.tr, telemetry.Span{
+						Stage:       e.g.Tasks[spec.Task].Name,
+						Worker:      w.phys,
+						Class:       e.opts.Classes[w.class].Name,
+						EnqueuedSec: sub.enqueued,
+						StartSec:    startT,
+						EndSec:      endT,
+						Batch:       len(batch),
+					})
+				}
+			}
 		}
 		for _, sub := range batch {
 			e.complete(sub, w, spec)
@@ -879,9 +933,11 @@ func (e *Engine) finish(root *rootReq) {
 	e.mu.Unlock()
 	if root.dropped {
 		e.colLocked(func(c *metrics.Collector) { c.Dropped(now, root.arrived) })
+		e.opts.Tracer.Finish(root.tr, now, true, false)
 		return
 	}
 	late := now > root.deadline+1e-9
+	e.opts.Tracer.Finish(root.tr, now, false, late)
 	accuracy := math.NaN()
 	if root.accN > 0 {
 		accuracy = root.accSum / float64(root.accN)

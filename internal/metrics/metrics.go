@@ -30,7 +30,18 @@ type Collector struct {
 	classSum   []float64
 	classN     int
 	costHours  float64 // accrued dollars (cost/hour × hours)
+
+	// latHist counts answered requests per latency bucket (LatencyBounds
+	// upper bounds plus a +Inf overflow bucket), feeding the summary's
+	// latency quantiles.
+	latHist []int64
 }
+
+// LatencyBounds are the upper bounds (seconds) of the response-time
+// histogram every collector records in Completed; the histogram has one
+// extra +Inf bucket past the last bound. Fixed bounds keep per-tenant
+// histograms mergeable elementwise (see Merge).
+var LatencyBounds = []float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
 
 type bucket struct {
 	arrivals    int
@@ -114,6 +125,14 @@ func (c *Collector) Completed(t float64, late bool, latency, accuracy float64) {
 	if latency > b.latencyMax {
 		b.latencyMax = latency
 	}
+	if c.latHist == nil {
+		c.latHist = make([]int64, len(LatencyBounds)+1)
+	}
+	i := 0
+	for i < len(LatencyBounds) && latency > LatencyBounds[i] {
+		i++
+	}
+	c.latHist[i]++
 	if !math.IsNaN(accuracy) {
 		b.accuracySum += accuracy
 		b.accuracyN++
@@ -253,6 +272,49 @@ type Summary struct {
 	ClassNames         []string
 	MeanServersByClass []float64
 	CostHours          float64
+
+	// LatencyHistogram counts answered requests per LatencyBounds bucket
+	// (plus the final +Inf bucket); LatencyP50 and LatencyP99 are response
+	// -time quantiles interpolated from it (seconds). Nil/zero before the
+	// first answer.
+	LatencyHistogram []int64
+	LatencyP50       float64
+	LatencyP99       float64
+}
+
+// histogramQuantile interpolates the q-quantile from a LatencyBounds-shaped
+// bucket histogram, Prometheus histogram_quantile style: the target rank is
+// located in its bucket and placed linearly between the bucket's bounds. A
+// rank landing in the +Inf bucket reports the last finite bound.
+func histogramQuantile(hist []int64, q float64) float64 {
+	var total int64
+	for _, n := range hist {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, n := range hist {
+		cum += n
+		if float64(cum) >= rank {
+			if i >= len(LatencyBounds) {
+				return LatencyBounds[len(LatencyBounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = LatencyBounds[i-1]
+			}
+			hi := LatencyBounds[i]
+			if n == 0 {
+				return hi
+			}
+			frac := (rank - float64(cum-n)) / float64(n)
+			return lo + (hi-lo)*frac
+		}
+	}
+	return LatencyBounds[len(LatencyBounds)-1]
 }
 
 // Summarize aggregates the whole run.
@@ -325,6 +387,11 @@ func (c *Collector) Summarize() Summary {
 		}
 		s.CostHours = c.costHours
 	}
+	if c.latHist != nil {
+		s.LatencyHistogram = append([]int64(nil), c.latHist...)
+		s.LatencyP50 = histogramQuantile(c.latHist, 0.50)
+		s.LatencyP99 = histogramQuantile(c.latHist, 0.99)
+	}
 	return s
 }
 
@@ -371,6 +438,23 @@ func Merge(sums ...Summary) Summary {
 				}
 			}
 		}
+		// Latency histograms share the fixed LatencyBounds layout, so they
+		// merge by elementwise sum; the quantiles are recomputed below from
+		// the pooled population.
+		if len(s.LatencyHistogram) > 0 {
+			if out.LatencyHistogram == nil {
+				out.LatencyHistogram = make([]int64, len(s.LatencyHistogram))
+			}
+			if len(s.LatencyHistogram) == len(out.LatencyHistogram) {
+				for i, v := range s.LatencyHistogram {
+					out.LatencyHistogram[i] += v
+				}
+			}
+		}
+	}
+	if out.LatencyHistogram != nil {
+		out.LatencyP50 = histogramQuantile(out.LatencyHistogram, 0.50)
+		out.LatencyP99 = histogramQuantile(out.LatencyHistogram, 0.99)
 	}
 	if out.Arrivals > 0 {
 		out.ViolationRatio = float64(out.Late+out.Dropped) / float64(out.Arrivals)

@@ -247,6 +247,43 @@ func TestMergeSumsEveryIntField(t *testing.T) {
 	}
 }
 
+// Merge must sum latency histograms elementwise and recompute the quantiles
+// from the pooled population — a histogram bucket Merge drops would skew
+// every aggregate latency percentile.
+func TestMergeLatencyHistogram(t *testing.T) {
+	a := NewCollector(30, 4)
+	b := NewCollector(30, 4)
+	for i := 0; i < 90; i++ {
+		a.Completed(1, false, 0.02, 1.0) // bucket le=0.025
+	}
+	for i := 0; i < 10; i++ {
+		b.Completed(1, true, 2.0, 1.0) // bucket le=2.5
+	}
+	sa, sb := a.Summarize(), b.Summarize()
+	if sa.LatencyP50 <= 0.01 || sa.LatencyP50 > 0.025 {
+		t.Fatalf("per-tenant LatencyP50 = %g, want in (0.01, 0.025]", sa.LatencyP50)
+	}
+	m := Merge(sa, sb)
+	if len(m.LatencyHistogram) != len(LatencyBounds)+1 {
+		t.Fatalf("merged histogram has %d buckets, want %d", len(m.LatencyHistogram), len(LatencyBounds)+1)
+	}
+	var total int64
+	for _, n := range m.LatencyHistogram {
+		total += n
+	}
+	if total != 100 {
+		t.Fatalf("merged histogram holds %d answers, want 100", total)
+	}
+	// The p50 of the pooled population stays in a's bucket; the p99 lands in
+	// b's slow bucket — so the quantiles really were recomputed, not copied.
+	if m.LatencyP50 <= 0.01 || m.LatencyP50 > 0.025 {
+		t.Fatalf("merged LatencyP50 = %g, want in (0.01, 0.025]", m.LatencyP50)
+	}
+	if m.LatencyP99 <= 1 || m.LatencyP99 > 2.5 {
+		t.Fatalf("merged LatencyP99 = %g, want in (1, 2.5]", m.LatencyP99)
+	}
+}
+
 // Shed requests are accounted beside, not inside, the admitted population.
 func TestShedAndAdmittedCounters(t *testing.T) {
 	c := NewCollector(10, 4)

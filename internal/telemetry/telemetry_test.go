@@ -1,0 +1,190 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryExpositionDeterministic(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		r.Counter("b_total", "b help", L("x", "1")).Add(1, 3)
+		r.Counter("b_total", "b help", L("x", "2")).Add(2, 1)
+		r.Gauge("a_gauge", "a help", nil).Set(3, 2.5)
+		h := r.Histogram("c_seconds", "c help", []float64{0.1, 1}, L("t", "q"))
+		h.Observe(4, 0.05)
+		h.Observe(5, 0.5)
+		h.Observe(6, 7)
+		return r
+	}
+	var b1, b2 bytes.Buffer
+	build().WritePrometheus(&b1)
+	build().WritePrometheus(&b2)
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatalf("exposition not deterministic:\n%s\nvs\n%s", b1.String(), b2.String())
+	}
+	out := b1.String()
+	for _, want := range []string{
+		"# TYPE a_gauge gauge",
+		"# TYPE b_total counter",
+		"# TYPE c_seconds histogram",
+		`b_total{x="1"} 3`,
+		`c_seconds_bucket{t="q",le="0.1"} 1`,
+		`c_seconds_bucket{t="q",le="1"} 2`,
+		`c_seconds_bucket{t="q",le="+Inf"} 3`,
+		`c_seconds_count{t="q"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Families must appear in sorted order.
+	if strings.Index(out, "a_gauge") > strings.Index(out, "b_total") {
+		t.Error("families not sorted by name")
+	}
+}
+
+func TestRegistryNilIsNoOp(t *testing.T) {
+	var r *Registry
+	r.Counter("x", "h", nil).Add(0, 1)
+	r.Gauge("y", "h", nil).Set(0, 1)
+	r.Histogram("z", "h", []float64{1}, nil).Observe(0, 1)
+	if got := r.Gather(); got != nil {
+		t.Fatalf("nil registry Gather = %v, want nil", got)
+	}
+	var b bytes.Buffer
+	r.WritePrometheus(&b)
+	if b.Len() != 0 {
+		t.Fatalf("nil registry wrote %q", b.String())
+	}
+}
+
+func TestCollectorWindowMath(t *testing.T) {
+	c := NewCollector(nil, "ten", []WorkerClass{{Name: "gpu", Count: 2}})
+	// Worker 0: two requests queued, batch of 2 runs 0.5s inside a 1s window.
+	c.Enqueue(0.1, 0)
+	c.Enqueue(0.2, 0)
+	c.BatchStart(0.25, 0, 2)
+	c.BatchEnd(0.75, 0, 2)
+	c.Sample(1.0)
+	rows := c.Rows()
+	if rows[0].Occupancy != 0.5 {
+		t.Errorf("occupancy = %v, want 0.5", rows[0].Occupancy)
+	}
+	if rows[0].ServedQPS != 2 {
+		t.Errorf("servedQPS = %v, want 2", rows[0].ServedQPS)
+	}
+	if rows[0].ServedTotal != 2 || rows[0].BatchesTotal != 1 {
+		t.Errorf("totals = %+v", rows[0])
+	}
+	if rows[1].Occupancy != 0 || rows[1].ServedQPS != 0 {
+		t.Errorf("idle worker has nonzero window: %+v", rows[1])
+	}
+	// A still-running batch charges partial busy time to the closing window.
+	c.BatchStart(1.2, 0, 1)
+	c.Sample(2.0)
+	rows = c.Rows()
+	if got := rows[0].Occupancy; got < 0.79 || got > 0.81 {
+		t.Errorf("partial-batch occupancy = %v, want ~0.8", got)
+	}
+	if rows[0].InFlightBatch != 1 {
+		t.Errorf("inflight = %d, want 1", rows[0].InFlightBatch)
+	}
+}
+
+func TestCollectorFaultState(t *testing.T) {
+	reg := NewRegistry()
+	c := NewCollector(reg, "ten", []WorkerClass{{Name: "gpu", Count: 1}})
+	c.SetSpeed(5, 0, 0.25)
+	c.SetDown(6, 0, true)
+	rows := c.Rows()
+	if rows[0].SpeedFactor != 0.25 || rows[0].Live {
+		t.Fatalf("row = %+v, want speed 0.25 live=false", rows[0])
+	}
+	var b bytes.Buffer
+	reg.WritePrometheus(&b)
+	out := b.String()
+	if !strings.Contains(out, `loki_worker_speed_factor{class="gpu",tenant="ten",worker="0"} 0.25`) {
+		t.Errorf("speed factor not exposed:\n%s", out)
+	}
+	if !strings.Contains(out, `loki_worker_up{class="gpu",tenant="ten",worker="0"} 0`) {
+		t.Errorf("down state not exposed:\n%s", out)
+	}
+	c.SetDown(7, 0, false)
+	if rows := c.Rows(); !rows[0].Live {
+		t.Error("worker did not come back up")
+	}
+}
+
+func TestTracerDeterministicSampling(t *testing.T) {
+	run := func() []byte {
+		tr := NewTracer("ten", 0.5, 42)
+		for i := int64(0); i < 40; i++ {
+			rt := tr.Start(i, float64(i))
+			if rt == nil {
+				continue
+			}
+			tr.AddSpan(rt, Span{Stage: "detect", Worker: 1, Class: "gpu",
+				EnqueuedSec: float64(i), StartSec: float64(i) + 0.01, EndSec: float64(i) + 0.05, Batch: 4})
+			tr.Finish(rt, float64(i)+0.06, false, false)
+		}
+		b, err := tr.ExportJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	b1, b2 := run(), run()
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("trace export not byte-reproducible for the same seed")
+	}
+	if !strings.Contains(string(b1), `"stage": "detect"`) {
+		t.Fatalf("export missing spans:\n%s", b1)
+	}
+	tr := NewTracer("ten", 0.5, 42)
+	sampled := 0
+	for i := int64(0); i < 40; i++ {
+		if tr.Start(i, 0) != nil {
+			sampled++
+		}
+	}
+	if sampled == 0 || sampled == 40 {
+		t.Fatalf("sampling degenerate: %d/40", sampled)
+	}
+}
+
+func TestTracerStageSummary(t *testing.T) {
+	tr := NewTracer("ten", 1, 1)
+	for i := 0; i < 100; i++ {
+		rt := tr.Start(int64(i), 0)
+		tr.AddSpan(rt, Span{Stage: "s", EnqueuedSec: 0, StartSec: float64(i) / 1000, EndSec: float64(i)/1000 + 0.01, Batch: 2})
+		tr.Finish(rt, 1, false, false)
+	}
+	ss := tr.StageSummary()
+	if len(ss) != 1 || ss[0].Stage != "s" || ss[0].Count != 100 {
+		t.Fatalf("summary = %+v", ss)
+	}
+	if ss[0].QueueP50 < 0.049 || ss[0].QueueP50 > 0.051 {
+		t.Errorf("queue p50 = %v, want ~0.0495", ss[0].QueueP50)
+	}
+	if ss[0].ExecP50 < 0.0099 || ss[0].ExecP50 > 0.0101 || ss[0].MeanBatch != 2 {
+		t.Errorf("summary = %+v", ss[0])
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	rt := tr.Start(1, 0)
+	if rt != nil {
+		t.Fatal("nil tracer sampled")
+	}
+	tr.AddSpan(rt, Span{})
+	tr.Finish(rt, 0, false, false)
+	if tr.Traces() != nil || tr.StageSummary() != nil {
+		t.Fatal("nil tracer returned data")
+	}
+	if NewTracer("x", 0, 1) != nil {
+		t.Fatal("prob 0 should return nil tracer")
+	}
+}

@@ -64,6 +64,7 @@ import (
 	"loki/internal/pipeline"
 	"loki/internal/policy"
 	"loki/internal/profiles"
+	"loki/internal/telemetry"
 	"loki/internal/trace"
 )
 
@@ -189,6 +190,14 @@ type config struct {
 	admission  bool
 	faults     []FaultEvent
 	onFault    func(timeSec float64, event string)
+	// telemetryOff records WithTelemetry(false): the per-worker collectors,
+	// the metric registry, and the request tracer are all skipped.
+	telemetryOff bool
+	// traceProb is the request-tracing sample probability; traceSet records
+	// an explicit WithTraceSampling (zero then means "trace nothing" rather
+	// than the 1/64 default).
+	traceProb float64
+	traceSet  bool
 	// Zero values mean "on": the fast planning path is the default and
 	// these record the escape hatches.
 	plannerCacheOff     bool
@@ -355,6 +364,56 @@ func WithParallelPlanning(on bool) Option {
 // follows.
 func WithAdmission(on bool) Option { return func(c *config) { c.admission = on } }
 
+// WithTelemetry toggles the telemetry plane (default on): per-worker
+// collectors fed by the serving engines (queue depth, occupancy, in-flight
+// batch size, served QPS, speed factor, live state), the metric registry
+// behind MultiSystem.Telemetry and the HTTP front door's GET /metrics
+// exposition, and sampled request tracing. Telemetry is pure observation —
+// it consumes no RNG stream and perturbs no serving decision, so runs are
+// bit-identical with it on or off. WithTelemetry(false) is the
+// zero-overhead escape hatch for benchmarking.
+func WithTelemetry(on bool) Option { return func(c *config) { c.telemetryOff = !on } }
+
+// WithTraceSampling sets the request-tracing sample probability in [0, 1]
+// (default 1/64). Sampled requests record a span per pipeline stage — queue
+// wait, execution time, batch size, worker, and hardware class — exported as
+// JSON by MultiSystem.WriteTraces and summarized per stage in Report.Stages.
+// On the Simulated engine sampling draws from its own seeded stream, so the
+// sampled set is deterministic for a fixed seed. Zero traces nothing;
+// WithTelemetry(false) disables tracing regardless.
+func WithTraceSampling(p float64) Option {
+	return func(c *config) { c.traceProb = p; c.traceSet = true }
+}
+
+// WorkerStatus is one worker's live telemetry row: queue depth, in-flight
+// batch, occupancy and served QPS over the last sampling window, speed
+// factor and liveness from the fault injector, and cumulative served/batch/
+// swap totals. Snapshot.Workers carries one per pool worker.
+type WorkerStatus = telemetry.WorkerRow
+
+// StageLatency aggregates the sampled traces of one pipeline stage: queue
+// and execution latency quantiles, mean batch size, and the worst sampled
+// end-to-end time. Report.Stages carries one per stage that served a
+// sampled request.
+type StageLatency = telemetry.StageStat
+
+// RequestTrace is one sampled request's span tree as recorded by the
+// request tracer (see WithTraceSampling).
+type RequestTrace = telemetry.ReqTrace
+
+// TraceSpan is one stage-level span of a RequestTrace.
+type TraceSpan = telemetry.Span
+
+// TelemetryRegistry is the system's metric registry: every counter, gauge,
+// and histogram the telemetry plane maintains, queryable programmatically
+// (Gather) or rendered in Prometheus text exposition format
+// (WritePrometheus) — the same bytes the HTTP front door serves on
+// GET /metrics.
+type TelemetryRegistry = telemetry.Registry
+
+// MetricPoint is one metric sample returned by TelemetryRegistry.Gather.
+type MetricPoint = telemetry.Point
+
 // FaultKind enumerates the failure modes the fault injector can produce.
 type FaultKind int
 
@@ -492,6 +551,15 @@ type Report struct {
 	// (completed plus late), the INFaaS-style serving cost. Zero on
 	// unpriced fleets.
 	CostPerQuery float64
+	// LatencyP50 and LatencyP99 are end-to-end response-time quantiles over
+	// answered requests, interpolated from the collector's latency histogram.
+	// Zero when nothing was answered.
+	LatencyP50, LatencyP99 time.Duration
+	// Stages summarizes the sampled request traces per pipeline stage (queue
+	// and execution latency quantiles, mean batch size). Nil when tracing is
+	// off (WithTelemetry(false) or WithTraceSampling(0)) or nothing was
+	// sampled. Aggregate reports do not carry it.
+	Stages []StageLatency
 	// Series holds per-bucket time series for plotting.
 	Series []SeriesPoint
 }
@@ -572,6 +640,17 @@ func (c config) resolvedClasses() ([]profiles.Class, int, error) {
 		return nil, 0, err
 	}
 	return classes, profiles.TotalCount(classes), nil
+}
+
+// telemetryClasses maps the internal hardware classes onto the telemetry
+// collector's worker layout (name and count per class, in class order —
+// matching the engines' physical worker numbering).
+func telemetryClasses(classes []profiles.Class) []telemetry.WorkerClass {
+	out := make([]telemetry.WorkerClass, len(classes))
+	for i, cl := range classes {
+		out[i] = telemetry.WorkerClass{Name: cl.Name, Count: cl.Count}
+	}
+	return out
 }
 
 // metaAndOpts builds the Model Profiler → Metadata Store stage shared by

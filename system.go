@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 
@@ -177,6 +178,11 @@ type Snapshot struct {
 	// LiveServersByClass breaks LiveServers down per hardware class. Nil on
 	// homogeneous systems.
 	LiveServersByClass map[string]int
+	// Workers holds one live telemetry row per pool worker — queue depth,
+	// in-flight batch, occupancy, served QPS, speed factor, liveness — as
+	// maintained by the per-worker collector. Nil under WithTelemetry(false)
+	// or before the control plane is built.
+	Workers []WorkerStatus
 }
 
 // Snapshot returns live counters without disturbing the run.
@@ -214,6 +220,14 @@ func (s *System) GrantedRate() float64 {
 	qps, _ := s.ms.GrantedRate(defaultPipeline)
 	return qps
 }
+
+// Telemetry returns the system's metric registry (nil under
+// WithTelemetry(false)) — see MultiSystem.Telemetry.
+func (s *System) Telemetry() *TelemetryRegistry { return s.ms.Telemetry() }
+
+// WriteTraces writes the sampled request traces as indented JSON — see
+// MultiSystem.WriteTraces.
+func (s *System) WriteTraces(w io.Writer) error { return s.ms.WriteTraces(w) }
 
 // ServeHTTP exposes the system's single pipeline over HTTP under the name
 // "default" (POST /v1/default/infer, GET /v1/default/snapshot, GET

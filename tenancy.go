@@ -2,8 +2,10 @@ package loki
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -13,6 +15,7 @@ import (
 	"loki/internal/engine"
 	"loki/internal/ingress"
 	"loki/internal/metrics"
+	"loki/internal/telemetry"
 )
 
 // ErrUnknownPipeline is returned when a MultiSystem method names a pipeline
@@ -100,6 +103,11 @@ type msTenant struct {
 	adm *ingress.Admission
 	// fcHorizon is the resolved forecast planning horizon in seconds.
 	fcHorizon float64
+	// tel and tracer are the pipeline's telemetry collector and request
+	// tracer, built in buildLocked (nil under WithTelemetry(false); tracer
+	// also nil at sample probability zero).
+	tel    *telemetry.Collector
+	tracer *telemetry.Tracer
 }
 
 // MultiSystem serves several pipelines on one shared server pool. Register
@@ -127,6 +135,10 @@ type MultiSystem struct {
 	eng  engine.MultiEngine
 	ctrl *core.MultiController
 
+	// reg is the telemetry plane's metric registry, shared by every tenant's
+	// collector and the joint planner (nil under WithTelemetry(false)).
+	reg *telemetry.Registry
+
 	// HTTP front door state (see ServeHTTP and Drain). draining is atomic so
 	// the handler's fast path never takes m.mu.
 	httpOnce sync.Once
@@ -150,7 +162,11 @@ func NewMulti(opts ...Option) (*MultiSystem, error) {
 	if c.servers <= 0 {
 		return nil, fmt.Errorf("loki: multi-tenant pool needs a positive server count, got %d", c.servers)
 	}
-	return &MultiSystem{cfg: c, byName: map[string]int{}}, nil
+	m := &MultiSystem{cfg: c, byName: map[string]int{}}
+	if !c.telemetryOff {
+		m.reg = telemetry.NewRegistry()
+	}
+	return m, nil
 }
 
 // AddPipeline registers a pipeline under a unique name. It validates the
@@ -298,7 +314,22 @@ func (m *MultiSystem) buildLocked() error {
 		Faults:         m.cfg.faultSchedule(),
 		OnFault:        m.cfg.onFault,
 	}
-	for _, t := range m.tenants {
+	for i, t := range m.tenants {
+		if m.reg != nil {
+			// The collector mirrors the engine's physical worker layout
+			// (class by class, in class order); the tracer samples from its
+			// own seeded stream, disjoint from the per-tenant cluster
+			// (seed+1+2i) and arrival (seed+2+2i) streams, so telemetry
+			// never perturbs serving.
+			t.tel = telemetry.NewCollector(m.reg, t.name, telemetryClasses(classes))
+			prob := m.cfg.traceProb
+			if !m.cfg.traceSet {
+				prob = 1.0 / 64
+			}
+			t.tracer = telemetry.NewTracer(t.name, prob, m.cfg.seed+9001+2*int64(i))
+			t.ecfg.Telemetry = t.tel
+			t.ecfg.Tracer = t.tracer
+		}
 		mc.Tenants = append(mc.Tenants, t.ecfg)
 	}
 	eng, err := engine.NewMulti(engine.Kind(m.cfg.engine), mc)
@@ -350,6 +381,7 @@ func (m *MultiSystem) buildLocked() error {
 		return err
 	}
 	ctrl.Sequential = m.cfg.parallelPlanningOff
+	ctrl.SetTelemetry(m.reg)
 	m.eng = eng
 	m.ctrl = ctrl
 	m.built = true
@@ -541,6 +573,7 @@ func (m *MultiSystem) Snapshot(pipeline string) (Snapshot, error) {
 		snap.AdmittedQPS, snap.ShedQPS = t.adm.Rates(snap.TimeSec)
 		snap.GrantedRateQPS = t.adm.Rate()
 	}
+	snap.Workers = t.tel.Rows()
 	live := t.meta.LiveClassCounts()
 	for _, n := range live {
 		snap.LiveServers += n
@@ -632,6 +665,8 @@ func (m *MultiSystem) GrantedRate(pipeline string) (float64, error) {
 //	POST /v1/{pipeline}/infer     admit one request (202, or 429 + Retry-After
 //	                              when WithAdmission sheds it)
 //	GET  /v1/{pipeline}/snapshot  live Snapshot as JSON
+//	GET  /metrics                 Prometheus text exposition of the telemetry
+//	                              plane (absent under WithTelemetry(false))
 //	GET  /healthz                 200 while serving, 503 while draining
 //
 // The first request freezes pipeline registration (like the first injection).
@@ -640,6 +675,10 @@ func (m *MultiSystem) GrantedRate(pipeline string) (float64, error) {
 // virtual time does not advance between requests on the Simulated engine.
 func (m *MultiSystem) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	m.httpOnce.Do(func() {
+		var metricsFn func(io.Writer)
+		if reg := m.reg; reg != nil {
+			metricsFn = func(w io.Writer) { reg.WritePrometheus(w) }
+		}
 		m.httpSrv = ingress.NewServer(ingress.ServerConfig{
 			Pipelines: m.Pipelines(),
 			Submit:    m.Submit,
@@ -647,6 +686,7 @@ func (m *MultiSystem) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				return m.Snapshot(pipeline)
 			},
 			Draining: m.draining.Load,
+			Metrics:  metricsFn,
 		})
 	})
 	m.httpSrv.ServeHTTP(w, r)
@@ -685,7 +725,41 @@ func (m *MultiSystem) reportOf(i int) *Report {
 	r := summaryToReport(sum, rerouted)
 	r.Pipeline = t.name
 	r.Series = t.col.Series()
+	r.Stages = t.tracer.StageSummary()
 	return r
+}
+
+// Telemetry returns the system's metric registry: per-worker serving gauges,
+// planner counters, and everything else the telemetry plane maintains, for
+// programmatic access (Gather) or Prometheus-text rendering
+// (WritePrometheus — the bytes GET /metrics serves). Nil under
+// WithTelemetry(false).
+func (m *MultiSystem) Telemetry() *TelemetryRegistry { return m.reg }
+
+// WriteTraces writes every pipeline's sampled request traces as indented
+// JSON: an array with one {tenant, stages, traces} object per registered
+// pipeline, in registration order. Stages carries the per-stage latency
+// summary (Report.Stages); traces the individual span trees. With tracing
+// off (WithTelemetry(false) or WithTraceSampling(0)) each entry is empty.
+// The serving CLIs expose this as lokiserve -trace-out.
+func (m *MultiSystem) WriteTraces(w io.Writer) error {
+	m.mu.Lock()
+	tenants := append([]*msTenant(nil), m.tenants...)
+	m.mu.Unlock()
+	exports := make([]json.RawMessage, 0, len(tenants))
+	for _, t := range tenants {
+		b, err := t.tracer.ExportJSON()
+		if err != nil {
+			return err
+		}
+		exports = append(exports, b)
+	}
+	b, err := json.MarshalIndent(exports, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
 }
 
 // Reports returns every pipeline's Report, keyed by name.
@@ -736,6 +810,8 @@ func summaryToReport(sum metrics.Summary, rerouted int64) *Report {
 		MinServers:        sum.MinServers,
 		MaxServers:        sum.MaxServers,
 		MeanLatency:       time.Duration(sum.MeanLatency * float64(time.Second)),
+		LatencyP50:        time.Duration(sum.LatencyP50 * float64(time.Second)),
+		LatencyP99:        time.Duration(sum.LatencyP99 * float64(time.Second)),
 		Arrivals:          int64(sum.Arrivals),
 		Completed:         int64(sum.Completed),
 		Late:              int64(sum.Late),
