@@ -290,6 +290,36 @@ func BenchmarkHeteroAllocate(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetRound runs one fleet-scale planning cell per iteration —
+// 100 servers, 12 chain tenants, 3 hardware classes, 8 measured arbitration
+// rounds on a seeded ±4% demand walk, greedy-replace budget armed versus off
+// on the identical walk — and reports the greedy arm's round-latency
+// percentiles plus both arms' branch-and-bound counts. The regression
+// canaries for the planner-scaling work: round_p95_ms must stay well under
+// the 100 ms fleet target and milp_solves must stay at least 3× below
+// milp_solves_off. The recorded full-grid baseline (up to 1000 servers ×
+// 24 tenants) lives in BENCH_fleet.json.
+func BenchmarkFleetRound(b *testing.B) {
+	var last experiments.FleetCell
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fleet(experiments.FleetConfig{
+			Servers: []int{100}, Tenants: []int{12}, Classes: []int{3},
+			Rounds: 8, Seed: 11,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r.Cells[0]
+	}
+	b.ReportMetric(last.P50Millis, "round_p50_ms")
+	b.ReportMetric(last.P95Millis, "round_p95_ms")
+	b.ReportMetric(float64(last.MILPSolves), "milp_solves")
+	b.ReportMetric(float64(last.MILPSolvesNoGreedy), "milp_solves_off")
+	b.ReportMetric(last.SolveReduction, "solve_reduction_x")
+	b.ReportMetric(100*last.GreedyHitRate, "greedy_hit_%")
+	b.ReportMetric(last.AllocsPerRound, "allocs_per_round")
+}
+
 // BenchmarkIngressOverload runs the HTTP front-door overload sweep per
 // iteration (open vs admission-controlled door, 1x and 2x the measured
 // capacity, wall-clock engine over real sockets) and reports each point's

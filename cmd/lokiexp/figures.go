@@ -146,6 +146,17 @@ func chaos(seed int64, sloSec float64, quick bool) error {
 	return nil
 }
 
+func fleet(seed int64, sloSec float64, quick bool) error {
+	r, err := experiments.Fleet(experiments.FleetConfig{
+		SLOSec: sloSec, Seed: seed, Quick: quick,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.FormatFleet(r))
+	return nil
+}
+
 func multitenant(seed int64, servers int, sloSec float64, quick bool) error {
 	steps := 48
 	if quick {

@@ -12,6 +12,7 @@
 //	lokiexp -fig 8          # SLO sensitivity (Figure 8)
 //	lokiexp -fig hetero      # mixed accelerator fleet vs uniform fleet
 //	lokiexp -fig multitenant # shared-pool contention across two pipelines
+//	lokiexp -fig fleet       # planning-round latency at 100-1000 servers
 //	lokiexp -fig forecast   # reactive vs proactive (forecast-driven) serving
 //	lokiexp -fig ingress    # HTTP front door: admission control under overload
 //	lokiexp -fig chaos      # fault injection: crash/outage/straggler × tiers
@@ -35,7 +36,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1, 3, 5, 6, 7, 8, hetero, multitenant, forecast, ingress, chaos, validate, runtime, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 3, 5, 6, 7, 8, hetero, multitenant, fleet, forecast, ingress, chaos, validate, runtime, all")
 	seed := flag.Int64("seed", 11, "random seed")
 	servers := flag.Int("servers", 20, "cluster size")
 	sloMs := flag.Float64("slo", 250, "latency SLO in milliseconds")
@@ -115,6 +116,11 @@ func main() {
 	if all || *fig == "hetero" {
 		run("Hetero: mixed accelerator fleet vs speed-equivalent uniform", func() error {
 			return hetero(*seed, *sloMs/1000, *quick)
+		})
+	}
+	if all || *fig == "fleet" {
+		run("Fleet: planning rounds at 100-1000 servers, greedy vs MILP-only", func() error {
+			return fleet(*seed, *sloMs/1000, *quick)
 		})
 	}
 	if all || *fig == "multitenant" {

@@ -40,6 +40,13 @@
 //
 //	lokiserve -pipeline traffic -trace-out traces.json
 //
+// Profiling — -pprof mounts Go's net/http/pprof on its own listener,
+// independent of -listen, so CPU and heap profiles are available in both the
+// demo loop and front-door modes:
+//
+//	lokiserve -listen :8080 -pprof localhost:6060
+//	go tool pprof http://localhost:6060/debug/pprof/profile?seconds=10
+//
 // With -listen the demo loop is replaced by the HTTP front door: the system
 // mounts POST /v1/{pipeline}/infer, GET /v1/{pipeline}/snapshot, GET
 // /metrics, and GET /healthz on the given address and serves real sockets
@@ -59,6 +66,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"sort"
@@ -92,7 +100,19 @@ func main() {
 	faults := flag.String("fault", "", "fault schedule, e.g. crash@30s:class=a100:n=2:recover=20s,outage@60s:class=spot:recover=30s (kinds crash, outage, straggle; keys class=, n=, factor=, recover=)")
 	tiers := flag.String("tier", "", "service tier(s) under contention, higher sheds last (comma-separated, one per pipeline; blank = untiered)")
 	traceOut := flag.String("trace-out", "", "write the sampled request traces (span trees + per-stage latency summaries) to this file as JSON after the run")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables the debug listener")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// The profiler gets its own listener and mux: the front door's
+		// handler stays exactly the published API surface, and profiling
+		// works in demo-loop mode too (no -listen required). The blank
+		// net/http/pprof import registers on http.DefaultServeMux.
+		go func() {
+			log.Printf("pprof listener: %v", http.ListenAndServe(*pprofAddr, nil))
+		}()
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	names := strings.Split(*pipeNames, ",")
 	trs := strings.Split(*traceNames, ",")

@@ -759,6 +759,20 @@ func (a *Allocator) solveStep(demand float64, step stepKind) (*Plan, bool, error
 			opts.WarmStarts = [][]float64{wx}
 		}
 	}
+	// Greedy first pass: a priority-ordered path choice with ceiling-sized
+	// replicas, offered as an additional warm start — but only to
+	// proof-seeking searches, where the MILP's warm-start contract makes the
+	// result bit-identical with or without it (the seed prunes from node one
+	// and never displaces an equally good solution the search finds itself).
+	// Gap-tolerant searches use warm starts as a strictly-better fallback,
+	// where a lucky greedy point could displace a within-gap incumbent and
+	// change which of several near-optimal plans a deterministic run
+	// returns; those searches run unseeded to keep plans reproducible.
+	if step == stepHardware && !a.priced {
+		if gx := a.greedySeed(demand, step, bl); gx != nil {
+			opts.WarmStarts = append(opts.WarmStarts, gx)
+		}
+	}
 	// Stall cutoff: once a quarter of the budget is burned, a search whose
 	// best solution has not improved for ~a hundred nodes — and whose
 	// plateau spans at least half its explored tree — is returning

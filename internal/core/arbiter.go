@@ -107,6 +107,20 @@ type Tenant struct {
 	grant     []int // per-class servers currently granted
 	allocates int
 	truncated int // fresh solves whose branch & bound hit a resource limit
+
+	// Incremental re-solve tracking. lastDesire is the last desire-pass plan
+	// with the quantized buckets and pool caps it was solved under;
+	// cappedPlan records whether the standing plan came from a capped
+	// re-solve inside a grant. A tenant whose planning demand stayed in its
+	// bucket with everything else unchanged is "clean" for the round: the
+	// arbiter reuses its plans verbatim — bit-identical to what the plan
+	// cache would return — without touching the cache or the solver.
+	lastDesire     *Plan
+	desireBucket   int
+	desireFine     int
+	lastDesireCaps []int
+	cappedPlan     bool
+	greedyReplaced int // MILP solves replaced by the greedy pass
 }
 
 // cachedPlan is one plan-cache entry plus the fine-granularity demand
@@ -117,15 +131,46 @@ type cachedPlan struct {
 	fineBucket int
 }
 
+// maxKeyClasses is how many hardware classes a plan-cache key holds inline.
+// Real fleets have a handful of classes; anything larger falls back to an
+// allocated string encoding.
+const maxKeyClasses = 8
+
+// capsOverflow marks a key whose grant vector spilled into the big field.
+const capsOverflow = int8(-2)
+
 // tenantPlanKey caches plans per (quantized demand, grant vector) pair: the
-// same demand under a different per-class grant is a different MILP. caps is
-// the encoded grant vector, empty for uncapped solves.
+// same demand under a different per-class grant is a different MILP. The
+// grant vector is packed into a fixed-size array so building a key on the
+// per-round lookup path allocates nothing; n is -1 for uncapped solves.
 type tenantPlanKey struct {
 	bucket int
-	caps   string
+	n      int8
+	caps   [maxKeyClasses]int32
+	big    string
 }
 
-// encodeCaps renders a per-class grant vector as a compact cache-key string.
+// planKey builds the cache key for a (quantized demand, grant vector) pair
+// without allocating (except on >maxKeyClasses-class fleets).
+func planKey(bucket int, caps []int) tenantPlanKey {
+	k := tenantPlanKey{bucket: bucket, n: -1}
+	switch {
+	case caps == nil:
+	case len(caps) <= maxKeyClasses:
+		k.n = int8(len(caps))
+		for i, n := range caps {
+			k.caps[i] = int32(n)
+		}
+	default:
+		k.n = capsOverflow
+		k.big = encodeCaps(caps)
+	}
+	return k
+}
+
+// encodeCaps renders a per-class grant vector as a compact string — the
+// cache-key overflow encoding for fleets with more classes than the inline
+// array holds.
 func encodeCaps(caps []int) string {
 	if caps == nil {
 		return ""
@@ -156,7 +201,7 @@ func (t *Tenant) solve(demand float64, caps []int, ratio float64) (*Plan, error)
 	if t.cache == nil {
 		t.cache = map[tenantPlanKey]cachedPlan{}
 	}
-	key := tenantPlanKey{bucket: demandBucket(demand, ratio), caps: encodeCaps(caps)}
+	key := planKey(demandBucket(demand, ratio), caps)
 	fine := demandBucket(demand, legacyBucketRatio)
 	if !t.CacheDisabled {
 		if e, ok := t.cache[key]; ok {
@@ -252,6 +297,18 @@ type MultiController struct {
 	// that triggers re-allocation before the periodic interval elapses.
 	// Zero means 0.2.
 	ReallocateThreshold float64
+
+	// GreedyReplaceBudget, when positive, lets up to that many MILP solves
+	// per round be replaced by the planner's greedy first pass. Eligible are
+	// tenants that need a fresh solve (plan-cache miss: a bucket boundary
+	// crossed, a changed grant) but whose demand moved less than one cache
+	// bucket since their standing plan — the solves most likely to return a
+	// near-identical plan at full branch-and-bound price. Replacements are
+	// deterministic (registration order) and greedy plans are provisional:
+	// they are never cached, and demand drifting a fine bucket re-solves
+	// them properly. Zero (the default) keeps every solve on the MILP,
+	// bit-identical to the pre-greedy arbiter.
+	GreedyReplaceBudget int
 
 	// Sequential forces the per-tenant solves of each allocation round to
 	// run one after another instead of fanning out across goroutines. The
@@ -610,6 +667,43 @@ func (m *MultiController) allocateLocked(demands []float64) error {
 	if m.live != nil {
 		desireCaps = counts
 	}
+
+	// Dirty tracking: a tenant re-solves only when something that feeds its
+	// plan actually moved — the quantized demand bucket (the fine legacy
+	// bucket too for provisional truncated/greedy plans, mirroring the plan
+	// cache's reuse gate), the pool caps the desire pass runs under, or a
+	// disabled cache. Clean tenants reuse last round's plans verbatim, which
+	// is bit-identical to the cache hit the solve would have returned.
+	dirty := make([]bool, len(m.tenants))
+	for i, t := range m.tenants {
+		provisional := t.lastDesire != nil &&
+			(t.lastDesire.SolveStats.Truncated || t.lastDesire.SolveStats.Greedy)
+		dirty[i] = t.CacheDisabled || t.lastDesire == nil ||
+			!equalInts(t.lastDesireCaps, desireCaps) ||
+			demandBucket(demands[i], ratio) != t.desireBucket ||
+			(provisional && demandBucket(demands[i], legacyBucketRatio) != t.desireFine)
+	}
+	// Greedy-replace pass, decided before the fan-out so the budget is spent
+	// in registration order: dirty tenants whose demand moved less than one
+	// cache bucket get the greedy first pass instead of a full MILP solve.
+	useGreedy := make([]bool, len(m.tenants))
+	if budget := m.GreedyReplaceBudget; budget > 0 {
+		width := ratio - 1
+		for i, t := range m.tenants {
+			if budget == 0 {
+				break
+			}
+			if !dirty[i] || t.plan == nil || t.moved(demands[i], width) {
+				continue
+			}
+			if _, ok := t.Alloc.(GreedyPlanner); !ok {
+				continue
+			}
+			useGreedy[i] = true
+			budget--
+		}
+	}
+
 	wants := make([][]int, len(m.tenants))
 	plans := make([]*Plan, len(m.tenants))
 	err := m.forEachTenant(func(i int, t *Tenant) error {
@@ -620,11 +714,29 @@ func (m *MultiController) allocateLocked(demands []float64) error {
 			plans[i] = &Plan{}
 			return nil
 		}
-		plan, err := t.solve(demands[i], desireCaps, ratio)
-		if err != nil {
-			return fmt.Errorf("core: tenant %q allocation: %w", t.Name, err)
+		if !dirty[i] {
+			plans[i] = t.lastDesire
+			return nil
+		}
+		var plan *Plan
+		if useGreedy[i] {
+			if gp, ok := t.Alloc.(GreedyPlanner).GreedyAllocate(demands[i], desireCaps); ok {
+				plan = gp
+				t.greedyReplaced++
+			}
+		}
+		if plan == nil {
+			var err error
+			plan, err = t.solve(demands[i], desireCaps, ratio)
+			if err != nil {
+				return fmt.Errorf("core: tenant %q allocation: %w", t.Name, err)
+			}
 		}
 		plans[i] = plan
+		t.lastDesire = plan
+		t.desireBucket = demandBucket(demands[i], ratio)
+		t.desireFine = demandBucket(demands[i], legacyBucketRatio)
+		t.lastDesireCaps = copyOrNil(desireCaps)
 		return nil
 	})
 	if err != nil {
@@ -648,6 +760,7 @@ func (m *MultiController) allocateLocked(demands []float64) error {
 	for i := range grants {
 		grants[i] = append([]int(nil), wants[i]...)
 	}
+	constrained := make([]bool, len(m.tenants))
 	if contended {
 		// Split every class across tenants: min(want, floor) plus a
 		// largest-remainder share of the class's leftover. When tenants
@@ -683,7 +796,6 @@ func (m *MultiController) allocateLocked(demands []float64) error {
 				}
 			}
 		}
-		constrained := make([]bool, len(m.tenants))
 		for i := range m.tenants {
 			for c := 0; c < nc; c++ {
 				if grants[i][c] < wants[i][c] {
@@ -695,6 +807,14 @@ func (m *MultiController) allocateLocked(demands []float64) error {
 		m.ensureWarm(counts, grants, wants, constrained)
 		err := m.forEachTenant(func(i int, t *Tenant) error {
 			if !constrained[i] {
+				return nil
+			}
+			// Clean tenant, same grant as last round, standing plan already
+			// solved inside it: reuse verbatim. (The cache would return the
+			// identical plan; this skips the lookups and the dropFragment
+			// retry.)
+			if !dirty[i] && t.cappedPlan && t.plan != nil && equalInts(grants[i], t.grant) {
+				plans[i] = t.plan
 				return nil
 			}
 			if sumInts(grants[i]) < len(t.Meta.Graph().Tasks) {
@@ -709,12 +829,22 @@ func (m *MultiController) allocateLocked(demands []float64) error {
 				plans[i] = &Plan{}
 				return nil
 			}
-			plan, err := t.solve(demands[i], grants[i], ratio)
-			if err != nil {
-				return fmt.Errorf("core: tenant %q capped allocation (%v servers): %w", t.Name, grants[i], err)
+			var plan *Plan
+			if useGreedy[i] {
+				if gp, ok := t.Alloc.(GreedyPlanner).GreedyAllocate(demands[i], grants[i]); ok {
+					plan = gp
+					t.greedyReplaced++
+				}
 			}
-			if distinct {
-				plan = t.dropFragment(plan, demands[i], grants[i], ratio)
+			if plan == nil {
+				var err error
+				plan, err = t.solve(demands[i], grants[i], ratio)
+				if err != nil {
+					return fmt.Errorf("core: tenant %q capped allocation (%v servers): %w", t.Name, grants[i], err)
+				}
+				if distinct {
+					plan = t.dropFragment(plan, demands[i], grants[i], ratio)
+				}
 			}
 			plans[i] = plan
 			return nil
@@ -726,6 +856,7 @@ func (m *MultiController) allocateLocked(demands []float64) error {
 	for i, t := range m.tenants {
 		t.plan = plans[i]
 		t.grant = grants[i]
+		t.cappedPlan = constrained[i]
 	}
 	if m.OnGrants != nil {
 		totals := make([]int, len(m.tenants))
@@ -893,6 +1024,28 @@ func sumInts(xs []int) int {
 		n += x
 	}
 	return n
+}
+
+// equalInts reports element-wise equality, distinguishing nil from non-nil
+// (a nil caps vector means an uncapped solve, not a zero-length one).
+func equalInts(a, b []int) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// copyOrNil clones a slice, preserving nil.
+func copyOrNil(xs []int) []int {
+	if xs == nil {
+		return nil
+	}
+	return append([]int(nil), xs...)
 }
 
 // forEachTenant runs fn once per tenant. Unless Sequential is set (or the
@@ -1318,6 +1471,18 @@ func (m *MultiController) TruncatedSolves() int {
 	n := 0
 	for _, t := range m.tenants {
 		n += t.truncated
+	}
+	return n
+}
+
+// GreedyReplaced returns the total number of MILP solves replaced by the
+// greedy first pass under the GreedyReplaceBudget, across all tenants.
+func (m *MultiController) GreedyReplaced() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, t := range m.tenants {
+		n += t.greedyReplaced
 	}
 	return n
 }

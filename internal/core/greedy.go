@@ -1,0 +1,284 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// This file is the planner's greedy first pass: a priority-ordered O(n×m)
+// solver over the same configuration-path model the MILPs use. It picks one
+// config path per sink — consistent at shared tasks, so every consistency
+// constraint holds by construction — and sizes replica counts by ceiling
+// division, producing an integer-feasible point in the step model's exact
+// variable layout. solveStep hands that point to the branch and bound as a
+// warm start (where the MILP's contract guarantees it never displaces an
+// equally good search result), and the arbiter's greedy-replace budget can
+// use the same machinery to refresh a barely-moved tenant's plan without any
+// branch and bound at all.
+
+// greedyAttemptBudget bounds the combo backtracking. One path per sink almost
+// always succeeds on the first few candidates; the budget only matters on
+// adversarial multi-sink graphs, where the greedy simply gives up and the
+// MILP runs unseeded.
+const greedyAttemptBudget = 2048
+
+// greedySeed builds an integer-feasible point for the (demand, step) model in
+// bl's variable layout ([0,P) path flows, [P] the served fraction f, replica
+// counts above). It returns nil when no fitting path combination was found
+// within the attempt budget; callers treat that as "no seed", never as proof
+// of infeasibility. Deterministic for a given (demand, step, model).
+func (a *Allocator) greedySeed(demand float64, step stepKind, bl *builtLP) []float64 {
+	fixedCost := step == stepHardware || step == stepHardwareSat
+
+	// Estimated cost per path at full demand: fractional replicas weighted by
+	// class dollar rate on priced fleets. This orders candidates; exact
+	// integer sizing happens in greedyAssemble.
+	cost := make([]float64, len(a.paths))
+	usable := make([]bool, len(a.paths))
+	for pi := range a.paths {
+		pth := &a.paths[pi]
+		ok := true
+		c := 0.0
+		for h, ci := range pth.cfgs {
+			if bl.cfgVar[ci] < 0 {
+				ok = false
+				break
+			}
+			w := 1.0
+			if a.priced {
+				w = a.classes[a.cfgs[ci].class].CostPerHour + serverCostEps
+			}
+			c += w * demand * pth.mults[h] / a.cfgs[ci].qps
+		}
+		usable[pi] = ok
+		cost[pi] = c
+	}
+
+	// Candidate paths per sink: hardware steps chase the cheapest deployment
+	// (variants are already pinned to the most accurate by the usable mask),
+	// accuracy steps the most accurate path first, cost as tie-break. Path
+	// index breaks remaining ties for determinism.
+	cands := make([][]int, len(a.sinks))
+	for s := range a.sinks {
+		for _, pi := range a.pathsBySink[s] {
+			if usable[pi] {
+				cands[s] = append(cands[s], pi)
+			}
+		}
+		if len(cands[s]) == 0 {
+			return nil
+		}
+		c := cands[s]
+		sort.SliceStable(c, func(x, y int) bool {
+			px, py := c[x], c[y]
+			if !fixedCost && a.paths[px].acc != a.paths[py].acc {
+				return a.paths[px].acc > a.paths[py].acc
+			}
+			if cost[px] != cost[py] {
+				return cost[px] < cost[py]
+			}
+			return px < py
+		})
+	}
+
+	// Depth-first combo search: one candidate per sink, consistent at shared
+	// tasks (identical config wherever a task appears), capacity-checked at
+	// the leaf. The first fitting combo in priority order wins.
+	cfgOf := make([]int, len(a.byTask))
+	for i := range cfgOf {
+		cfgOf[i] = -1
+	}
+	chosen := make([]int, len(a.sinks))
+	attempts := 0
+	var pick func(s int) []float64
+	pick = func(s int) []float64 {
+		if s == len(a.sinks) {
+			return a.greedyAssemble(demand, step, bl, chosen)
+		}
+		for _, pi := range cands[s] {
+			if attempts >= greedyAttemptBudget {
+				return nil
+			}
+			attempts++
+			ok := true
+			for _, ci := range a.paths[pi].cfgs {
+				if t := int(a.cfgs[ci].task); cfgOf[t] >= 0 && cfgOf[t] != ci {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			var set []int
+			for _, ci := range a.paths[pi].cfgs {
+				if t := int(a.cfgs[ci].task); cfgOf[t] < 0 {
+					cfgOf[t] = ci
+					set = append(set, t)
+				}
+			}
+			chosen[s] = pi
+			if x := pick(s + 1); x != nil {
+				return x
+			}
+			for _, t := range set {
+				cfgOf[t] = -1
+			}
+		}
+		return nil
+	}
+	return pick(0)
+}
+
+// greedyAssemble sizes a chosen path combo into a full solution vector, or
+// nil when no served fraction makes its replicas fit the per-class budgets.
+func (a *Allocator) greedyAssemble(demand float64, step stepKind, bl *builtLP, chosen []int) []float64 {
+	saturating := step == stepSaturation || step == stepHardwareSat
+	P := len(a.paths)
+	fVar := P
+
+	// Demand arriving at each chosen config at f=1. The combo is consistent
+	// at shared tasks, so every chosen path that visits a config reports the
+	// same multiplier; the first path's value stands.
+	loads := make([]float64, len(a.cfgs))
+	used := make([]bool, len(a.cfgs))
+	for _, pi := range chosen {
+		pth := &a.paths[pi]
+		for h, ci := range pth.cfgs {
+			if !used[ci] {
+				used[ci] = true
+				loads[ci] = demand * pth.mults[h]
+			}
+		}
+	}
+	// Keep-warm coverage for tasks on no chosen path (side branches of a
+	// sink served through a different task path): one replica of the task's
+	// first usable config idles there.
+	if a.Opts.KeepWarm {
+		onPath := make([]bool, len(a.byTask))
+		for ci, u := range used {
+			if u {
+				onPath[a.cfgs[ci].task] = true
+			}
+		}
+		for t := range a.byTask {
+			if onPath[t] {
+				continue
+			}
+			for _, ci := range a.byTask[t] {
+				if bl.cfgVar[ci] >= 0 {
+					used[ci] = true
+					break
+				}
+			}
+		}
+	}
+
+	try := func(f float64) ([]float64, bool) {
+		x := make([]float64, bl.nvars)
+		totals := make([]int, len(a.classes))
+		for ci := range a.cfgs {
+			if !used[ci] {
+				continue
+			}
+			n := int(math.Ceil(f*loads[ci]/a.cfgs[ci].qps - 1e-9))
+			if n < 1 && a.Opts.KeepWarm {
+				n = 1
+			}
+			if n < 0 {
+				n = 0
+			}
+			x[bl.cfgVar[ci]] = float64(n)
+			totals[a.cfgs[ci].class] += n
+		}
+		for cl, n := range totals {
+			if n > a.counts[cl] {
+				return nil, false
+			}
+		}
+		x[fVar] = f
+		for _, pi := range chosen {
+			x[pi] = f
+		}
+		return x, true
+	}
+
+	if x, ok := try(1); ok {
+		return x
+	}
+	if !saturating {
+		return nil
+	}
+	// Saturation: shrink the served fraction to the continuous capacity bound
+	// of the tightest class, then walk down a little further if the ceilings
+	// still overflow.
+	f := 1.0
+	for cl := range a.classes {
+		r := 0.0
+		for ci := range a.cfgs {
+			if used[ci] && a.cfgs[ci].class == cl {
+				r += loads[ci] / a.cfgs[ci].qps
+			}
+		}
+		if r > 0 {
+			if fc := float64(a.counts[cl]) / r; fc < f {
+				f = fc
+			}
+		}
+	}
+	for i := 0; i < 30 && f > 1e-9; i++ {
+		if x, ok := try(f); ok {
+			return x
+		}
+		f *= 0.97
+	}
+	return nil
+}
+
+// GreedyPlanner is implemented by planners that can produce a feasible (not
+// necessarily optimal) plan without running any branch and bound. The
+// arbiter's greedy-replace budget consults it for tenants whose demand barely
+// moved; planners without it simply always take the MILP path.
+type GreedyPlanner interface {
+	// GreedyAllocate returns a greedy plan under the given per-class caps
+	// (nil caps means the planner's full cluster), or false when the greedy
+	// pass found no fitting deployment — the caller falls back to the MILP.
+	GreedyAllocate(demand float64, caps []int) (*Plan, bool)
+}
+
+// GreedyAllocate runs the greedy first pass as a standalone planner: hardware
+// scaling if the demand fits at full accuracy, accuracy scaling otherwise. It
+// never runs the saturation regime — a pool too small for even the greedy
+// accuracy pass is a real contention event that deserves the full solver —
+// and reports false in that case.
+func (a *Allocator) GreedyAllocate(demand float64, caps []int) (*Plan, bool) {
+	al := a
+	if caps != nil {
+		if err := a.checkCaps(caps); err != nil {
+			return nil, false
+		}
+		al = a.Capped(caps)
+	}
+	d := demand * (1 + al.Opts.Headroom)
+	if d < 0 {
+		d = 0
+	}
+	st := al.state
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, step := range []stepKind{stepHardware, stepAccuracy} {
+		bl := al.builtFor(d, step)
+		for cl, row := range bl.clusterRows {
+			bl.prob.Cons[row].RHS = float64(al.counts[cl])
+		}
+		x := al.greedySeed(d, step, bl)
+		if x == nil {
+			continue
+		}
+		plan := al.extractPlan(x, bl.useCfg, bl.cfgVar, len(al.paths), d, step)
+		plan.SolveStats = SolveStats{Step: int(step), Greedy: true}
+		st.greedyPlans++
+		return plan, true
+	}
+	return nil, false
+}

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"loki/internal/lp"
+	"loki/internal/milp"
+)
+
+// greedySeedFor builds the (demand, step) model and runs the greedy first
+// pass against it, returning the model and the seed (nil when the greedy
+// found no fitting combo).
+func greedySeedFor(t *testing.T, a *Allocator, demand float64, step stepKind) (*builtLP, []float64) {
+	t.Helper()
+	st := a.state
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	bl := a.builtFor(demand, step)
+	for cl, row := range bl.clusterRows {
+		bl.prob.Cons[row].RHS = float64(a.counts[cl])
+	}
+	return bl, a.greedySeed(demand, step, bl)
+}
+
+// verifyModelPoint checks x against every constraint of the step model, the
+// integrality of every replica-count variable, and the per-class server
+// budgets.
+func verifyModelPoint(t *testing.T, a *Allocator, bl *builtLP, x []float64) {
+	t.Helper()
+	const tol = 1e-6
+	if len(x) != bl.nvars {
+		t.Fatalf("seed has %d vars, model has %d", len(x), bl.nvars)
+	}
+	for j, v := range x {
+		if v < -tol {
+			t.Fatalf("seed var %d negative: %v", j, v)
+		}
+	}
+	totals := make([]int, len(a.classes))
+	for ci, vi := range bl.cfgVar {
+		if vi < 0 {
+			continue
+		}
+		v := x[vi]
+		if math.Abs(v-math.Round(v)) > tol {
+			t.Fatalf("replica count var %d not integral: %v", vi, v)
+		}
+		totals[a.cfgs[ci].class] += int(math.Round(v))
+	}
+	for cl, n := range totals {
+		if n > a.counts[cl] {
+			t.Fatalf("class %d uses %d replicas, budget %d", cl, n, a.counts[cl])
+		}
+	}
+	for i, c := range bl.prob.Cons {
+		lhs := 0.0
+		for _, tm := range c.Terms {
+			lhs += tm.Coef * x[tm.Var]
+		}
+		ok := true
+		switch c.Sense {
+		case lp.LE:
+			ok = lhs <= c.RHS+tol
+		case lp.GE:
+			ok = lhs >= c.RHS-tol
+		default:
+			ok = math.Abs(lhs-c.RHS) <= tol
+		}
+		if !ok {
+			t.Fatalf("seed violates constraint %d: lhs=%v %v rhs=%v", i, lhs, c.Sense, c.RHS)
+		}
+	}
+}
+
+// The greedy first pass must only ever hand the branch and bound points that
+// satisfy the step model exactly: every constraint, integral replica counts,
+// and the per-class budgets. Covered across tree, chain, and heterogeneous
+// fleets at several demands and steps.
+func TestGreedySeedFeasible(t *testing.T) {
+	allocs := []struct {
+		name string
+		a    *Allocator
+	}{
+		{"tree", treeAllocator(t, 20, 0.250)},
+		{"chain", chainAllocator(t, 20, 0.250)},
+		{"hetero", heteroTenant(t, "h", 0).Alloc.(*Allocator)},
+	}
+	steps := []stepKind{stepHardware, stepAccuracy, stepSaturation}
+	seeded := 0
+	for _, tc := range allocs {
+		for _, d := range []float64{0, 35, 90, 180, 400, 900} {
+			for _, step := range steps {
+				bl, x := greedySeedFor(t, tc.a, d, step)
+				if x == nil {
+					continue
+				}
+				seeded++
+				verifyModelPoint(t, tc.a, bl, x)
+			}
+		}
+	}
+	if seeded == 0 {
+		t.Fatal("greedy produced no seed on any fixture — the warm start path is dead")
+	}
+}
+
+// On proof-seeking searches the greedy warm start must never change the
+// result: solving the hardware-scaling model with and without the seed has to
+// return the identical status, objective, and solution vector. This is the
+// contract solveStep relies on to keep recorded goldens bit-identical.
+func TestGreedyWarmStartProofParity(t *testing.T) {
+	a := treeAllocator(t, 20, 0.250)
+	seeded := false
+	for _, d := range []float64{40, 110, 230} {
+		bl, gx := greedySeedFor(t, a, d, stepHardware)
+		if gx == nil {
+			continue
+		}
+		seeded = true
+		mask := make([]bool, bl.nvars)
+		for _, vi := range bl.cfgVar {
+			if vi >= 0 {
+				mask[vi] = true
+			}
+		}
+		prob := &milp.Problem{LP: bl.prob, Integer: mask}
+		cold, err := milp.SolveWithOptions(prob, milp.Options{ObjIntegral: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm, err := milp.SolveWithOptions(prob, milp.Options{
+			ObjIntegral: true,
+			WarmStarts:  [][]float64{gx},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cold.Status != milp.Optimal {
+			t.Fatalf("demand %v: cold solve status %v, want proven optimal", d, cold.Status)
+		}
+		if warm.Status != cold.Status || warm.Objective != cold.Objective {
+			t.Fatalf("demand %v: warm (%v, %v) differs from cold (%v, %v)",
+				d, warm.Status, warm.Objective, cold.Status, cold.Objective)
+		}
+		if len(warm.X) != len(cold.X) {
+			t.Fatalf("demand %v: solution lengths differ", d)
+		}
+		for j := range cold.X {
+			if warm.X[j] != cold.X[j] {
+				t.Fatalf("demand %v: x[%d] warm %v != cold %v", d, j, warm.X[j], cold.X[j])
+			}
+		}
+	}
+	if !seeded {
+		t.Fatal("greedy produced no hardware-step seed at any demand")
+	}
+}
+
+// A greedy plan is feasible but never proven optimal, so the MILP's plan can
+// only ever match or beat it: on hardware scaling the solver must never use
+// more servers than the greedy deployment. Equivalently, a greedy objective
+// worse than the MILP's is never returned from the seeded solve. Also pins
+// that standalone greedy plans are marked and capped correctly, and that the
+// regular Allocate path never returns a greedy-only plan.
+func TestGreedyPlanNeverBeatsMILP(t *testing.T) {
+	a := treeAllocator(t, 20, 0.250)
+	sawGreedy := false
+	for _, d := range []float64{0, 40, 90, 180, 320} {
+		gp, ok := a.GreedyAllocate(d, nil)
+		if !ok {
+			continue
+		}
+		sawGreedy = true
+		if !gp.SolveStats.Greedy {
+			t.Fatalf("demand %v: standalone greedy plan not marked Greedy", d)
+		}
+		sum := 0
+		for cl, n := range gp.ServersByClass {
+			if n > a.counts[cl] {
+				t.Fatalf("demand %v: greedy plan uses %d servers of class %d, budget %d",
+					d, n, cl, a.counts[cl])
+			}
+			sum += n
+		}
+		if sum != gp.ServersUsed {
+			t.Fatalf("demand %v: ServersByClass sums to %d, ServersUsed %d", d, sum, gp.ServersUsed)
+		}
+		mp, err := a.Allocate(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mp.SolveStats.Greedy {
+			t.Fatalf("demand %v: Allocate returned a greedy-only plan", d)
+		}
+		if mp.Mode == HardwareScaling && gp.Mode == HardwareScaling &&
+			mp.ServersUsed > gp.ServersUsed {
+			t.Fatalf("demand %v: MILP plan uses %d servers, greedy found %d — the search returned a worse objective than its seed",
+				d, mp.ServersUsed, gp.ServersUsed)
+		}
+	}
+	if !sawGreedy {
+		t.Fatal("GreedyAllocate never produced a plan")
+	}
+
+	// Caps are honored like Capped views: the greedy plan fits the cap, and
+	// an absurd cap is rejected rather than violated.
+	if gp, ok := a.GreedyAllocate(150, []int{12}); ok {
+		if gp.ServersUsed > 12 {
+			t.Fatalf("capped greedy plan uses %d servers, cap 12", gp.ServersUsed)
+		}
+	}
+	if _, ok := a.GreedyAllocate(150, []int{12, 9}); ok {
+		t.Fatal("greedy accepted a caps vector with the wrong class count")
+	}
+}
+
+// The arbiter's greedy-replace budget: zero (the default) must keep the
+// arbiter fully MILP-driven — bit-identical to the pre-greedy behavior —
+// while a positive budget replaces some barely-moved dirty tenants with
+// greedy plans that still respect their grants.
+func TestArbiterGreedyReplaceBudget(t *testing.T) {
+	drive := func(m *MultiController, tenants []*Tenant) {
+		t.Helper()
+		d := 100.0
+		for round := 0; round < 16; round++ {
+			for _, tn := range tenants {
+				for i := 0; i < 12; i++ {
+					tn.Meta.ObserveDemand(d)
+				}
+			}
+			if err := m.Step(true); err != nil {
+				t.Fatal(err)
+			}
+			grants := m.Grants()
+			for i, tn := range tenants {
+				plan := m.PlanOf(i)
+				if plan == nil {
+					t.Fatalf("round %d: tenant %s has no plan", round, tn.Name)
+				}
+				if plan.ServersUsed > grants[i] {
+					t.Fatalf("round %d: tenant %s plan uses %d servers, grant %d",
+						round, tn.Name, plan.ServersUsed, grants[i])
+				}
+			}
+			d *= 1.05 // 5% drift: inside the 20% move window, across cache buckets
+		}
+	}
+
+	mk := func() (*MultiController, []*Tenant) {
+		t.Helper()
+		pool := 40
+		a := arbiterTenant(t, "a", pool, 0)
+		b := arbiterTenant(t, "b", pool, 0)
+		a.Alloc.(*Allocator).Opts.SolveTimeLimit = 2 * time.Second
+		b.Alloc.(*Allocator).Opts.SolveTimeLimit = 2 * time.Second
+		m, err := NewMultiController(pool, []*Tenant{a, b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, []*Tenant{a, b}
+	}
+
+	m0, t0 := mk()
+	drive(m0, t0)
+	if n := m0.GreedyReplaced(); n != 0 {
+		t.Fatalf("budget 0 produced %d greedy replacements, want none", n)
+	}
+	for i := range t0 {
+		if plan := m0.PlanOf(i); plan.SolveStats.Greedy {
+			t.Fatalf("budget 0: tenant %d holds a greedy plan", i)
+		}
+	}
+
+	m1, t1 := mk()
+	m1.GreedyReplaceBudget = 2
+	drive(m1, t1)
+	if n := m1.GreedyReplaced(); n == 0 {
+		t.Fatal("positive budget never replaced a plan greedily")
+	}
+	perf := t1[0].Alloc.(*Allocator).Perf()
+	if perf.GreedyPlans == 0 && t1[1].Alloc.(*Allocator).Perf().GreedyPlans == 0 {
+		t.Fatal("GreedyReplaced > 0 but no allocator counted a greedy plan")
+	}
+}

@@ -122,6 +122,11 @@ type SolveStats struct {
 	// Such plans are timing-dependent; the tenant plan cache treats them as
 	// provisional and retries them at fine demand granularity.
 	Truncated bool
+	// Greedy marks a plan produced by the greedy first pass alone — feasible
+	// by construction but never proven optimal. Only the arbiter's
+	// greedy-replace budget emits these; plans that went through the branch
+	// and bound (even greedy-seeded ones) leave it false.
+	Greedy bool
 }
 
 // Replicas returns the total replica count of the plan.

@@ -47,6 +47,63 @@ func BenchmarkAllocate(b *testing.B) {
 	}
 }
 
+// The tenant plan cache key is a value type packing up to maxKeyClasses
+// per-class caps inline; building it must not allocate — at fleet scale every
+// tenant constructs one per round, and the old string-concat key put that on
+// the hot path's garbage bill.
+func TestPlanKeyNoAlloc(t *testing.T) {
+	caps := []int{4, 12, 7}
+	spilled := false
+	allocs := testing.AllocsPerRun(200, func() {
+		k := planKey(17, caps)
+		if k.big != "" {
+			spilled = true
+		}
+	})
+	if spilled {
+		t.Fatal("3-class caps spilled to the string overflow key")
+	}
+	if allocs != 0 {
+		t.Fatalf("planKey allocates %.1f objects per call, want 0", allocs)
+	}
+
+	// Past maxKeyClasses the key degrades to the string encoding but stays
+	// correct: distinct caps produce distinct keys.
+	wide := make([]int, maxKeyClasses+2)
+	wide[maxKeyClasses] = 9
+	other := append([]int(nil), wide...)
+	other[maxKeyClasses] = 10
+	if planKey(3, wide) == planKey(3, other) {
+		t.Fatal("overflow keys collide for distinct caps")
+	}
+	if planKey(3, wide) != planKey(3, wide) {
+		t.Fatal("overflow key not reproducible")
+	}
+}
+
+// A tenant plan-cache hit is allocation-free end to end: key construction,
+// lookup, and the reuse decision. This is what keeps clean tenants cheap in
+// the incremental re-solve path.
+func TestTenantCacheHitNoAlloc(t *testing.T) {
+	tn := arbiterTenant(t, "a", 20, 0)
+	if _, err := tn.solve(210, []int{14}, legacyBucketRatio); err != nil {
+		t.Fatal(err)
+	}
+	caps := []int{14}
+	var solveErr error
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := tn.solve(210, caps, legacyBucketRatio); err != nil {
+			solveErr = err
+		}
+	})
+	if solveErr != nil {
+		t.Fatal(solveErr)
+	}
+	if allocs != 0 {
+		t.Fatalf("cache-hit solve allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
 // BenchmarkAllocateCapped measures capped re-solves at a fixed demand over
 // cycling server budgets — the contention workload the arbiter generates —
 // which is where the (demand, step) model memo pays: only the cluster

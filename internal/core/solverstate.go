@@ -28,6 +28,7 @@ type solverState struct {
 	milpSolves  int
 	modelBuilds int
 	modelReuses int
+	greedyPlans int
 }
 
 // builtKey identifies a built LP model: the exact demand (capacity-row
@@ -68,6 +69,9 @@ type SolverPerf struct {
 	// ModelBuilds and ModelReuses count LP model constructions and
 	// (demand, step) memo hits.
 	ModelBuilds, ModelReuses int
+	// GreedyPlans counts plans served by the greedy pass alone (no branch
+	// and bound at all) through GreedyAllocate.
+	GreedyPlans int
 }
 
 // Perf returns the allocator's accumulated solver effort counters.
@@ -79,6 +83,7 @@ func (a *Allocator) Perf() SolverPerf {
 		MILPSolves:  st.milpSolves,
 		ModelBuilds: st.modelBuilds,
 		ModelReuses: st.modelReuses,
+		GreedyPlans: st.greedyPlans,
 	}
 }
 

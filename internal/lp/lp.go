@@ -1,5 +1,6 @@
-// Package lp implements a dense two-phase primal simplex solver for
-// linear programs.
+// Package lp implements a two-phase primal simplex solver for linear
+// programs, with a sparse revised-simplex hot path and a dense tableau
+// fallback.
 //
 // The solver handles problems of the form
 //
@@ -11,12 +12,15 @@
 // constraints by the caller (the MILP layer in internal/milp does exactly
 // that for branching bounds).
 //
-// The implementation is a classic dense tableau simplex with a Phase-1
-// artificial-variable start, Dantzig pricing, and an automatic switch to
-// Bland's rule when the pivot sequence degenerates, which guarantees
-// termination. It is intended for the small and medium problem sizes
-// produced by Loki's resource allocator (hundreds of rows and a few
-// thousand columns), where a dense tableau is both simple and fast.
+// Both implementations share a Phase-1 artificial-variable start, Dantzig
+// pricing, and an automatic switch to Bland's rule when the pivot sequence
+// degenerates, which guarantees termination. The revised simplex (the
+// default) keeps the constraints as sparse columns and maintains only the
+// m×m basis inverse, which suits the allocator's wide, mostly-zero
+// formulations; the dense tableau remains as the Dense escape hatch and as
+// the automatic fallback whenever the revised path declines to certify an
+// answer (unboundedness, iteration limits, or a failed feasibility
+// re-check).
 package lp
 
 import (
@@ -166,12 +170,17 @@ func SolveWithOptions(p *Problem, opt Options) (*Solution, error) {
 	return SolveWS(p, opt, nil)
 }
 
-// SolveWS solves the problem using the given Workspace for the tableau's
+// SolveWS solves the problem using the given Workspace for the solver's
 // working state. It runs the exact same pivot sequence as SolveWithOptions —
 // the workspace only recycles buffers — so results are bit-identical. When
 // ws is non-nil the returned Solution's X slice is owned by the workspace
 // and is only valid until the next solve through it; callers that keep the
 // point must copy it. A nil ws allocates fresh buffers (and a fresh X).
+//
+// Problems at or above the RevisedMinSize crossover run the sparse revised
+// simplex (revised.go); smaller problems, and every solve when the Dense
+// escape hatch is set, use the dense tableau — which is also the automatic
+// fallback whenever the revised path declines to certify its answer.
 func SolveWS(p *Problem, opt Options, ws *Workspace) (*Solution, error) {
 	if err := validate(p); err != nil {
 		return nil, err
@@ -179,6 +188,11 @@ func SolveWS(p *Problem, opt Options, ws *Workspace) (*Solution, error) {
 	tol := opt.Tol
 	if tol == 0 {
 		tol = defaultTol
+	}
+	if !Dense && revisedEligible(p) {
+		if sol, ok := solveRevised(p, tol, opt.MaxIter, ws); ok {
+			return sol, nil
+		}
 	}
 
 	t := newTableau(p, tol, ws)

@@ -1,0 +1,253 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// withDense runs f with the Dense escape hatch forced on, restoring it after.
+func withDense(t *testing.T, f func()) {
+	t.Helper()
+	old := Dense
+	Dense = true
+	defer func() { Dense = old }()
+	f()
+}
+
+// forceRevised drops the size crossover for the duration of the test so the
+// revised path handles every problem, however small.
+func forceRevised(t *testing.T) {
+	t.Helper()
+	old := RevisedMinSize
+	RevisedMinSize = 0
+	t.Cleanup(func() { RevisedMinSize = old })
+}
+
+// corpusProblems rebuilds the package's fixed test corpus: every hand-written
+// problem from lp_test.go, spanning LE/GE/EQ rows, negative RHS
+// normalization, degeneracy, redundancy, infeasibility, and unboundedness.
+func corpusProblems() map[string]*Problem {
+	out := map[string]*Problem{}
+
+	p := NewProblem(2)
+	p.Maximize = true
+	p.Obj = []float64{3, 2}
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, LE, 4)
+	p.AddConstraint([]Term{{0, 1}, {1, 3}}, LE, 6)
+	out["max-two-vars"] = p
+
+	p = NewProblem(2)
+	p.Obj = []float64{0.6, 1}
+	p.AddConstraint([]Term{{0, 10}, {1, 4}}, GE, 20)
+	p.AddConstraint([]Term{{0, 5}, {1, 5}}, GE, 20)
+	p.AddConstraint([]Term{{0, 2}, {1, 6}}, GE, 12)
+	out["diet-ge"] = p
+
+	p = NewProblem(2)
+	p.Maximize = true
+	p.Obj = []float64{1, 2}
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 3)
+	p.AddConstraint([]Term{{0, 1}}, LE, 2)
+	out["equality"] = p
+
+	p = NewProblem(1)
+	p.Obj = []float64{1}
+	p.AddConstraint([]Term{{0, 1}}, GE, 5)
+	p.AddConstraint([]Term{{0, 1}}, LE, 3)
+	out["infeasible"] = p
+
+	p = NewProblem(2)
+	p.Maximize = true
+	p.Obj = []float64{1, 1}
+	p.AddConstraint([]Term{{0, 1}, {1, -1}}, LE, 1)
+	out["unbounded"] = p
+
+	p = NewProblem(2)
+	p.Obj = []float64{0, 1}
+	p.AddConstraint([]Term{{0, 1}, {1, -1}}, LE, -1)
+	out["neg-rhs-le"] = p
+
+	p = NewProblem(2)
+	p.Obj = []float64{1, 1}
+	p.AddConstraint([]Term{{0, 1}, {1, -1}}, EQ, -2)
+	out["neg-rhs-eq"] = p
+
+	p = NewProblem(1)
+	p.Maximize = true
+	p.Obj = []float64{1}
+	p.AddConstraint([]Term{{0, 1}, {0, 2}}, LE, 6)
+	out["duplicate-terms"] = p
+
+	p = NewProblem(4)
+	p.Obj = []float64{-0.75, 150, -0.02, 6}
+	p.AddConstraint([]Term{{0, 0.25}, {1, -60}, {2, -0.04}, {3, 9}}, LE, 0)
+	p.AddConstraint([]Term{{0, 0.5}, {1, -90}, {2, -0.02}, {3, 3}}, LE, 0)
+	p.AddConstraint([]Term{{2, 1}}, LE, 1)
+	out["beale"] = p
+
+	p = NewProblem(2)
+	p.Maximize = true
+	p.Obj = []float64{1, 1}
+	p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 2)
+	p.AddConstraint([]Term{{0, 2}, {1, 2}}, EQ, 4)
+	out["redundant-eq"] = p
+
+	p = NewProblem(0)
+	out["zero-vars"] = p
+
+	return out
+}
+
+// checkParity solves p with the revised path (default) and the dense tableau
+// (hatch on) and requires identical statuses and matching objectives.
+func checkParity(t *testing.T, name string, p *Problem) {
+	t.Helper()
+	fast, err := Solve(p)
+	if err != nil {
+		t.Fatalf("%s: revised solve: %v", name, err)
+	}
+	var dense *Solution
+	withDense(t, func() {
+		dense, err = Solve(p)
+	})
+	if err != nil {
+		t.Fatalf("%s: dense solve: %v", name, err)
+	}
+	if fast.Status != dense.Status {
+		t.Fatalf("%s: status revised=%v dense=%v", name, fast.Status, dense.Status)
+	}
+	if fast.Status == Optimal {
+		if diff := math.Abs(fast.Objective - dense.Objective); diff > 1e-6*(1+math.Abs(dense.Objective)) {
+			t.Fatalf("%s: objective revised=%g dense=%g", name, fast.Objective, dense.Objective)
+		}
+		for i, c := range p.Cons {
+			v := 0.0
+			for _, tm := range c.Terms {
+				v += tm.Coef * fast.X[tm.Var]
+			}
+			ok := true
+			switch c.Sense {
+			case LE:
+				ok = v <= c.RHS+1e-6
+			case GE:
+				ok = v >= c.RHS-1e-6
+			case EQ:
+				ok = math.Abs(v-c.RHS) <= 1e-6
+			}
+			if !ok {
+				t.Fatalf("%s: revised point violates constraint %d: %g %v %g", name, i, v, c.Sense, c.RHS)
+			}
+		}
+	}
+}
+
+// TestRevisedMatchesDenseCorpus pins the revised simplex to the dense
+// tableau's status and optimal objective on the fixed corpus.
+func TestRevisedMatchesDenseCorpus(t *testing.T) {
+	forceRevised(t)
+	for name, p := range corpusProblems() {
+		checkParity(t, name, p)
+	}
+}
+
+// TestRevisedMatchesDenseRandom cross-checks revised vs dense on the same
+// style of random problems the brute-force test uses, but larger: up to 8
+// variables and 12 constraints of every sense, with negative RHS mixed in.
+func TestRevisedMatchesDenseRandom(t *testing.T) {
+	forceRevised(t)
+	for seed := int64(0); seed < 400; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(7)
+		p := NewProblem(n)
+		p.Maximize = rng.Intn(2) == 0
+		p.Obj = make([]float64, n)
+		for j := range p.Obj {
+			p.Obj[j] = float64(rng.Intn(11) - 5)
+		}
+		for j := 0; j < n; j++ {
+			p.AddConstraint([]Term{{j, 1}}, LE, float64(1+rng.Intn(10)))
+		}
+		extra := rng.Intn(5)
+		for i := 0; i < extra; i++ {
+			terms := make([]Term, 0, n)
+			for j := 0; j < n; j++ {
+				if c := rng.Intn(7) - 3; c != 0 {
+					terms = append(terms, Term{j, float64(c)})
+				}
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			p.AddConstraint(terms, Sense(rng.Intn(3)), float64(rng.Intn(15)-3))
+		}
+		checkParity(t, "seed", p)
+	}
+}
+
+// TestRevisedWorkspaceReuse verifies that solving a shape-shifting sequence
+// of problems through one shared Workspace yields the same results as fresh
+// solves — the buffer-recycling contract of the revised path.
+func TestRevisedWorkspaceReuse(t *testing.T) {
+	forceRevised(t)
+	ws := &Workspace{}
+	names := []string{"max-two-vars", "diet-ge", "beale", "equality", "redundant-eq", "neg-rhs-le", "max-two-vars"}
+	corpus := corpusProblems()
+	for _, name := range names {
+		p := corpus[name]
+		fresh, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shared, err := SolveWS(p, Options{}, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fresh.Status != shared.Status || math.Abs(fresh.Objective-shared.Objective) > 1e-9 {
+			t.Fatalf("%s: workspace solve diverged: %+v vs %+v", name, shared, fresh)
+		}
+		for j := range fresh.X {
+			if fresh.X[j] != shared.X[j] {
+				t.Fatalf("%s: X[%d] workspace=%g fresh=%g", name, j, shared.X[j], fresh.X[j])
+			}
+		}
+	}
+}
+
+// TestDenseHatch verifies the escape hatches actually reroute the solve:
+// with Dense set (or the problem below the size crossover) the revised
+// buffers stay untouched.
+func TestDenseHatch(t *testing.T) {
+	p := corpusProblems()["diet-ge"]
+
+	ws := &Workspace{}
+	forceRevised(t)
+	withDense(t, func() {
+		if _, err := SolveWS(p, Options{}, ws); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if ws.rev.xb != nil {
+		t.Fatal("Dense hatch still exercised the revised path")
+	}
+
+	// Below the crossover (restored default), small problems go dense too.
+	ws2 := &Workspace{}
+	old := RevisedMinSize
+	RevisedMinSize = 1 << 30
+	if _, err := SolveWS(p, Options{}, ws2); err != nil {
+		RevisedMinSize = old
+		t.Fatal(err)
+	}
+	RevisedMinSize = old
+	if ws2.rev.xb != nil {
+		t.Fatal("sub-crossover problem still exercised the revised path")
+	}
+
+	if _, err := SolveWS(p, Options{}, ws); err != nil {
+		t.Fatal(err)
+	}
+	if ws.rev.xb == nil {
+		t.Fatal("default path did not exercise the revised solver")
+	}
+}

@@ -16,6 +16,7 @@ type Workspace struct {
 	obj   []float64
 	info  []rowInfo
 	sol   []float64
+	rev   revisedBuffers
 }
 
 // grow returns buffers sized for m rows and ncols columns, zeroing exactly

@@ -1,0 +1,132 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"loki/internal/lp"
+)
+
+// milpCorpus rebuilds this package's fixed test problems: knapsack,
+// fractional rounding, integer-infeasible windows, LP-infeasible rows, mixed
+// integer/continuous, and minimization.
+func milpCorpus() map[string]*Problem {
+	out := map[string]*Problem{}
+
+	p := lp.NewProblem(3)
+	p.Maximize = true
+	p.Obj = []float64{10, 13, 7}
+	p.AddConstraint([]lp.Term{{Var: 0, Coef: 3}, {Var: 1, Coef: 4}, {Var: 2, Coef: 2}}, lp.LE, 9)
+	for j := 0; j < 3; j++ {
+		p.AddConstraint([]lp.Term{{Var: j, Coef: 1}}, lp.LE, 1)
+	}
+	out["knapsack"] = &Problem{LP: p, Integer: allInt(3)}
+
+	p = lp.NewProblem(1)
+	p.Maximize = true
+	p.Obj = []float64{1}
+	p.AddConstraint([]lp.Term{{Var: 0, Coef: 2}}, lp.LE, 5)
+	out["fractional"] = &Problem{LP: p, Integer: allInt(1)}
+
+	p = lp.NewProblem(1)
+	p.Maximize = true
+	p.Obj = []float64{1}
+	p.AddConstraint([]lp.Term{{Var: 0, Coef: 1}}, lp.GE, 0.4)
+	p.AddConstraint([]lp.Term{{Var: 0, Coef: 1}}, lp.LE, 0.6)
+	out["int-infeasible"] = &Problem{LP: p, Integer: allInt(1)}
+
+	p = lp.NewProblem(1)
+	p.AddConstraint([]lp.Term{{Var: 0, Coef: 1}}, lp.GE, 2)
+	p.AddConstraint([]lp.Term{{Var: 0, Coef: 1}}, lp.LE, 1)
+	out["lp-infeasible"] = &Problem{LP: p, Integer: allInt(1)}
+
+	p = lp.NewProblem(2)
+	p.Maximize = true
+	p.Obj = []float64{2, 1}
+	p.AddConstraint([]lp.Term{{Var: 0, Coef: 1}, {Var: 1, Coef: 1}}, lp.LE, 3.5)
+	p.AddConstraint([]lp.Term{{Var: 0, Coef: 1}}, lp.LE, 2.2)
+	out["mixed"] = &Problem{LP: p, Integer: []bool{true, false}}
+
+	p = lp.NewProblem(2)
+	p.Obj = []float64{3, 2}
+	p.AddConstraint([]lp.Term{{Var: 0, Coef: 1}, {Var: 1, Coef: 1}}, lp.GE, 3.5)
+	out["minimize"] = &Problem{LP: p, Integer: allInt(2)}
+
+	return out
+}
+
+// solveBothLPCores solves the MILP once with the revised LP path forced on
+// and once through the lp.Dense hatch, returning both results.
+func solveBothLPCores(t *testing.T, prob *Problem) (revised, dense *Result) {
+	t.Helper()
+	oldMin := lp.RevisedMinSize
+	lp.RevisedMinSize = 0
+	r1, err := Solve(prob)
+	lp.RevisedMinSize = oldMin
+	if err != nil {
+		t.Fatalf("revised-core solve: %v", err)
+	}
+	lp.Dense = true
+	r2, err := Solve(prob)
+	lp.Dense = false
+	if err != nil {
+		t.Fatalf("dense-core solve: %v", err)
+	}
+	return r1, r2
+}
+
+// TestBranchAndBoundSparseLPParity pins branch and bound over the revised LP
+// core to the dense tableau on the package's fixed corpus: same status, same
+// optimal objective.
+func TestBranchAndBoundSparseLPParity(t *testing.T) {
+	for name, prob := range milpCorpus() {
+		rev, den := solveBothLPCores(t, prob)
+		if rev.Status != den.Status {
+			t.Errorf("%s: status revised=%v dense=%v", name, rev.Status, den.Status)
+			continue
+		}
+		if rev.Status == Optimal && math.Abs(rev.Objective-den.Objective) > 1e-6 {
+			t.Errorf("%s: objective revised=%g dense=%g", name, rev.Objective, den.Objective)
+		}
+	}
+}
+
+// TestBranchAndBoundSparseLPParityRandom extends the pin to random small
+// integer programs in the same style as the brute-force cross-check.
+func TestBranchAndBoundSparseLPParityRandom(t *testing.T) {
+	for seed := int64(0); seed < 150; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		p := lp.NewProblem(n)
+		p.Maximize = rng.Intn(2) == 0
+		p.Obj = make([]float64, n)
+		for j := range p.Obj {
+			p.Obj[j] = float64(rng.Intn(13) - 6)
+		}
+		for j := 0; j < n; j++ {
+			p.AddConstraint([]lp.Term{{Var: j, Coef: 1}}, lp.LE, 3)
+		}
+		extra := 1 + rng.Intn(3)
+		for i := 0; i < extra; i++ {
+			var terms []lp.Term
+			for j := 0; j < n; j++ {
+				if c := rng.Intn(9) - 4; c != 0 {
+					terms = append(terms, lp.Term{Var: j, Coef: float64(c)})
+				}
+			}
+			if len(terms) == 0 {
+				continue
+			}
+			p.AddConstraint(terms, lp.Sense(rng.Intn(3)), float64(rng.Intn(17)-4))
+		}
+		prob := &Problem{LP: p, Integer: allInt(n)}
+		rev, den := solveBothLPCores(t, prob)
+		if rev.Status != den.Status {
+			t.Fatalf("seed %d: status revised=%v dense=%v", seed, rev.Status, den.Status)
+		}
+		if rev.Status == Optimal && math.Abs(rev.Objective-den.Objective) > 1e-6 {
+			t.Fatalf("seed %d: objective revised=%g dense=%g", seed, rev.Objective, den.Objective)
+		}
+	}
+}

@@ -69,21 +69,100 @@ type Collector struct {
 	mu      sync.Mutex
 	tenant  string
 	workers []*workerState
+
+	// Aggregate exposition (pools past the worker-metrics limit): classOf
+	// maps worker index to its classAgg entry; nil aggs means full
+	// per-worker series.
+	classOf []int
+	aggs    []*classAgg
+}
+
+// classAgg is one hardware class's aggregate registry series, used instead of
+// per-worker series when the pool exceeds the worker-metrics limit.
+type classAgg struct {
+	count                       int
+	gWorkers, gQueue, gInflight *Gauge
+	gOcc, gQPS, gSpeed, gLive   *Gauge
+	cServed, cBatches, cSwaps   *Counter
+}
+
+// DefaultWorkerMetricsLimit is the pool size past which a collector stops
+// registering per-worker series and degrades to per-class aggregates. At
+// fleet scale (1,000+ workers × ~9 series each, per tenant) unbounded
+// per-worker cardinality would dominate /metrics; 256 keeps the paper-scale
+// testbeds fully visible while capping the fleet regime.
+const DefaultWorkerMetricsLimit = 256
+
+// CollectorOption configures NewCollector.
+type CollectorOption func(*collectorConfig)
+
+type collectorConfig struct {
+	workerLimit int
+}
+
+// WithWorkerMetricsLimit sets the largest pool that still gets per-worker
+// registry series; bigger pools degrade to per-class aggregate series
+// (loki_class_*) while Rows and Snapshot keep full per-worker detail.
+// 0 means unlimited (always per-worker); the default is
+// DefaultWorkerMetricsLimit.
+func WithWorkerMetricsLimit(n int) CollectorOption {
+	return func(c *collectorConfig) { c.workerLimit = n }
 }
 
 // NewCollector builds a collector for a pool laid out as classes in order
 // (worker indices 0..n-1 span the classes' counts, matching both engines'
 // physical numbering). reg may be nil to collect rows without exposition.
-func NewCollector(reg *Registry, tenant string, classes []WorkerClass) *Collector {
+func NewCollector(reg *Registry, tenant string, classes []WorkerClass, opts ...CollectorOption) *Collector {
+	cfg := collectorConfig{workerLimit: DefaultWorkerMetricsLimit}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	total := 0
+	for _, cl := range classes {
+		total += cl.Count
+	}
+	aggregate := reg != nil && cfg.workerLimit > 0 && total > cfg.workerLimit
+
 	c := &Collector{tenant: tenant}
 	phys := 0
 	for _, cl := range classes {
+		var ag *classAgg
+		if aggregate {
+			lbl := L("tenant", tenant, "class", cl.Name)
+			ag = &classAgg{
+				count:     cl.Count,
+				gWorkers:  reg.Gauge("loki_class_workers", "Workers in this class (aggregate exposition past the worker-metrics limit).", lbl),
+				gQueue:    reg.Gauge("loki_class_queue_depth", "Queued sub-requests summed over the class's workers.", lbl),
+				gInflight: reg.Gauge("loki_class_inflight_batch", "In-flight batch sizes summed over the class's workers.", lbl),
+				gOcc:      reg.Gauge("loki_class_occupancy", "Mean occupancy over the class's workers.", lbl),
+				gQPS:      reg.Gauge("loki_class_served_qps", "Served QPS summed over the class's workers.", lbl),
+				gSpeed:    reg.Gauge("loki_class_speed_factor", "Mean effective speed multiplier over the class's workers.", lbl),
+				gLive:     reg.Gauge("loki_class_live", "Live workers in the class.", lbl),
+				cServed:   reg.Counter("loki_class_served_total", "Lifetime sub-requests completed, summed over the class's workers.", lbl),
+				cBatches:  reg.Counter("loki_class_batches_total", "Lifetime batches executed, summed over the class's workers.", lbl),
+				cSwaps:    reg.Counter("loki_class_swaps_total", "Model swaps, summed over the class's workers.", lbl),
+			}
+			ag.gWorkers.Set(0, float64(cl.Count))
+			ag.gSpeed.Set(0, 1)
+			ag.gLive.Set(0, float64(cl.Count))
+			c.aggs = append(c.aggs, ag)
+		}
 		for i := 0; i < cl.Count; i++ {
 			ws := &workerState{
 				row:       WorkerRow{Worker: phys, Class: cl.Name, SpeedFactor: 1, Live: true},
 				busySince: -1,
 			}
-			if reg != nil {
+			switch {
+			case aggregate:
+				// Counters are exact: every worker in the class shares the
+				// class series, so event-time increments accumulate there.
+				// Gauges stay nil (no-op on events) and are folded from the
+				// rows once per Sample instead.
+				ws.cServed = ag.cServed
+				ws.cBatches = ag.cBatches
+				ws.cSwaps = ag.cSwaps
+				c.classOf = append(c.classOf, len(c.aggs)-1)
+			case reg != nil:
 				lbl := L("tenant", tenant, "class", cl.Name, "worker", strconv.Itoa(phys))
 				ws.gQueue = reg.Gauge("loki_worker_queue_depth", "Queued sub-requests per worker.", lbl)
 				ws.gInflight = reg.Gauge("loki_worker_inflight_batch", "Size of the batch currently executing (0 when idle).", lbl)
@@ -277,6 +356,39 @@ func (c *Collector) Sample(now float64) {
 		ws.lastSample = now
 		ws.gOcc.Set(now, occ)
 		ws.gQPS.Set(now, qps)
+	}
+	if c.aggs != nil {
+		// Aggregate exposition: fold the per-worker rows into one series set
+		// per class. Queue/in-flight/liveness gauges refresh here (once per
+		// sample) instead of per event — the cardinality trade the
+		// worker-metrics limit buys.
+		type fold struct {
+			queue, inflight, live int
+			occ, qps, speed       float64
+		}
+		folds := make([]fold, len(c.aggs))
+		for i, ws := range c.workers {
+			f := &folds[c.classOf[i]]
+			f.queue += ws.row.QueueDepth
+			f.inflight += ws.row.InFlightBatch
+			if ws.row.Live {
+				f.live++
+			}
+			f.occ += ws.row.Occupancy
+			f.qps += ws.row.ServedQPS
+			f.speed += ws.row.SpeedFactor
+		}
+		for i, ag := range c.aggs {
+			f := folds[i]
+			ag.gQueue.Set(now, float64(f.queue))
+			ag.gInflight.Set(now, float64(f.inflight))
+			ag.gLive.Set(now, float64(f.live))
+			ag.gQPS.Set(now, f.qps)
+			if ag.count > 0 {
+				ag.gOcc.Set(now, f.occ/float64(ag.count))
+				ag.gSpeed.Set(now, f.speed/float64(ag.count))
+			}
+		}
 	}
 	c.mu.Unlock()
 }

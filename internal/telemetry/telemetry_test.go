@@ -188,3 +188,58 @@ func TestTracerNilSafe(t *testing.T) {
 		t.Fatal("prob 0 should return nil tracer")
 	}
 }
+
+// Past the worker-metrics limit the collector stops registering per-worker
+// series and exposes per-class aggregates instead: counters stay exact via
+// shared class series, gauges fold once per Sample, and Rows keeps full
+// per-worker detail either way.
+func TestCollectorWorkerMetricsLimit(t *testing.T) {
+	reg := NewRegistry()
+	classes := []WorkerClass{{Name: "gpu", Count: 3}, {Name: "cpu", Count: 2}}
+	c := NewCollector(reg, "ten", classes, WithWorkerMetricsLimit(4))
+
+	c.Enqueue(0.1, 0)
+	c.Enqueue(0.1, 1)
+	c.Enqueue(0.1, 3)
+	c.BatchStart(0.2, 0, 1)
+	c.BatchEnd(0.7, 0, 1)
+	c.Swap(0.8, 3)
+	c.SetDown(0.9, 4, true)
+	c.Sample(1.0)
+
+	if rows := c.Rows(); len(rows) != 5 || rows[4].Live {
+		t.Fatalf("rows lost per-worker detail under the limit: %+v", rows)
+	}
+
+	var b bytes.Buffer
+	reg.WritePrometheus(&b)
+	out := b.String()
+	if strings.Contains(out, "loki_worker_") {
+		t.Fatalf("per-worker series exposed past the limit:\n%s", out)
+	}
+	for _, want := range []string{
+		`loki_class_workers{class="gpu",tenant="ten"} 3`,
+		`loki_class_workers{class="cpu",tenant="ten"} 2`,
+		`loki_class_queue_depth{class="gpu",tenant="ten"} 1`, // 2 queued, 1 batched off
+		`loki_class_queue_depth{class="cpu",tenant="ten"} 1`,
+		`loki_class_served_total{class="gpu",tenant="ten"} 1`,
+		`loki_class_batches_total{class="gpu",tenant="ten"} 1`,
+		`loki_class_swaps_total{class="cpu",tenant="ten"} 1`,
+		`loki_class_live{class="cpu",tenant="ten"} 1`,
+		`loki_class_live{class="gpu",tenant="ten"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing aggregate series %q in:\n%s", want, out)
+		}
+	}
+
+	// At or under the limit (and with 0 = unlimited) the per-worker series
+	// remain.
+	reg2 := NewRegistry()
+	NewCollector(reg2, "ten", classes, WithWorkerMetricsLimit(0))
+	var b2 bytes.Buffer
+	reg2.WritePrometheus(&b2)
+	if !strings.Contains(b2.String(), `loki_worker_up{class="gpu",tenant="ten",worker="0"}`) {
+		t.Fatalf("unlimited collector lost per-worker series:\n%s", b2.String())
+	}
+}

@@ -198,6 +198,11 @@ type config struct {
 	// than the 1/64 default).
 	traceProb float64
 	traceSet  bool
+	// workerMetricsLimit caps per-worker /metrics cardinality (see
+	// WithWorkerMetricsLimit); workerMetricsSet records an explicit option
+	// (zero then means unlimited rather than the collector default).
+	workerMetricsLimit int
+	workerMetricsSet   bool
 	// Zero values mean "on": the fast planning path is the default and
 	// these record the escape hatches.
 	plannerCacheOff     bool
@@ -383,6 +388,16 @@ func WithTelemetry(on bool) Option { return func(c *config) { c.telemetryOff = !
 // WithTelemetry(false) disables tracing regardless.
 func WithTraceSampling(p float64) Option {
 	return func(c *config) { c.traceProb = p; c.traceSet = true }
+}
+
+// WithWorkerMetricsLimit sets the largest tenant pool that still gets
+// per-worker series on /metrics (default 256; 0 means unlimited). Bigger
+// pools degrade to per-class aggregate series — queue depth, in-flight
+// batches, live count, served QPS, mean occupancy and speed — which keeps
+// exposition cardinality bounded at fleet scale while Snapshot.Workers
+// retains full per-worker detail.
+func WithWorkerMetricsLimit(n int) Option {
+	return func(c *config) { c.workerMetricsLimit = n; c.workerMetricsSet = true }
 }
 
 // WorkerStatus is one worker's live telemetry row: queue depth, in-flight

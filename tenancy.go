@@ -321,7 +321,11 @@ func (m *MultiSystem) buildLocked() error {
 			// own seeded stream, disjoint from the per-tenant cluster
 			// (seed+1+2i) and arrival (seed+2+2i) streams, so telemetry
 			// never perturbs serving.
-			t.tel = telemetry.NewCollector(m.reg, t.name, telemetryClasses(classes))
+			var colOpts []telemetry.CollectorOption
+			if m.cfg.workerMetricsSet {
+				colOpts = append(colOpts, telemetry.WithWorkerMetricsLimit(m.cfg.workerMetricsLimit))
+			}
+			t.tel = telemetry.NewCollector(m.reg, t.name, telemetryClasses(classes), colOpts...)
 			prob := m.cfg.traceProb
 			if !m.cfg.traceSet {
 				prob = 1.0 / 64
